@@ -1,0 +1,64 @@
+"""Ablation: the shadow memory table's search-strategy crossover (§IV-D).
+
+The paper: "Lookup of an entry uses linear search when the number of
+allocations is less than 64, and binary search otherwise."  This bench
+measures real wall-clock lookup throughput in both regimes and checks the
+design holds up: binary search keeps per-lookup cost roughly flat as the
+table grows, where forced-linear cost scales with the entry count.
+"""
+
+import time
+
+from repro.memsim import AddressSpace, MemoryKind
+from repro.runtime import ShadowMemoryTable
+from repro.runtime import smt as smt_module
+
+LOOKUPS = 20_000
+
+
+def build_table(entries: int):
+    table = ShadowMemoryTable()
+    space = AddressSpace()
+    allocs = [space.allocate(256, MemoryKind.MANAGED, materialize=False)
+              for _ in range(entries)]
+    for a in allocs:
+        table.insert(a)
+    probes = [allocs[(i * 7919) % entries].base + 13 for i in range(LOOKUPS)]
+    return table, probes
+
+
+def time_lookups(table, probes) -> float:
+    t0 = time.perf_counter()
+    for addr in probes:
+        table.lookup(addr)
+    return time.perf_counter() - t0
+
+
+def test_smt_search_crossover(benchmark):
+    def run():
+        small_table, small_probes = build_table(32)      # linear regime
+        big_table, big_probes = build_table(1024)        # binary regime
+        t_small = time_lookups(small_table, small_probes)
+        t_big = time_lookups(big_table, big_probes)
+
+        # Force the 1024-entry table through linear search to expose what
+        # the paper's crossover avoids.
+        original = smt_module.LINEAR_SEARCH_LIMIT
+        smt_module.LINEAR_SEARCH_LIMIT = 10 ** 9
+        try:
+            t_big_linear = time_lookups(big_table, big_probes)
+        finally:
+            smt_module.LINEAR_SEARCH_LIMIT = original
+        return t_small, t_big, t_big_linear
+
+    t_small, t_big, t_big_linear = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    per = 1e9 / LOOKUPS
+    print(f"\nper-lookup: linear@32 {t_small * per:.0f} ns, "
+          f"binary@1024 {t_big * per:.0f} ns, "
+          f"forced-linear@1024 {t_big_linear * per:.0f} ns")
+    # Binary search at 1024 entries must beat linear at 1024 by a wide
+    # margin -- the design choice §IV-D describes pays off...
+    assert t_big_linear > 3 * t_big
+    # ...while staying within a small factor of the tiny-table case.
+    assert t_big < 10 * t_small

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 10 (Pathfinder gpuWall access maps)."""
+
+import pytest
+
+from repro.evalx import fig10
+
+
+def test_fig10_pathfinder_maps(once):
+    result = once(fig10)
+    print("\n" + result.text)
+    a = next(r for r in result.rows if r["panel"] == "a")
+    # 10a: the whole wall is written (initialized + copied in).
+    assert a["touched"] == a["words"]
+    # 10b-d: each of iterations 1, 2, 5 reads one fifth of the array.
+    for panel in ("b", "c", "d"):
+        row = next(r for r in result.rows if r["panel"] == panel)
+        assert row["pct"] == pytest.approx(20, abs=2)

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig 4 (LULESH diagnostic output, second iteration)."""
+
+from repro.evalx import fig4
+
+
+def test_fig4_lulesh_diagnostic(once):
+    result = once(fig4)
+    print("\n" + result.text)
+    dom = next(r for r in result.rows if r["name"] == "dom")
+    # Paper Fig 4: C=27, G=0, density 9%, 18 alternating elements.
+    assert dom["C"] == 27
+    assert dom["G"] == 0
+    assert dom["density_pct"] == 9
+    assert dom["alternating"] == 18
+    m_p = next(r for r in result.rows if r["name"] == "(dom)->m_p")
+    # Paper Fig 4: m_p has G=1024 writes, G>G=1024 reads, 100% density.
+    assert m_p["G"] == 1024
+    assert m_p["G>G"] == 1024
+    assert m_p["density_pct"] == 100

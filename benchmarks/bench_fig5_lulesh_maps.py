@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 5 (access maps of the LULESH domain object)."""
+
+from repro.evalx import fig5
+
+
+def test_fig5_domain_access_maps(once):
+    result = once(fig5)
+    print("\n" + result.text)
+    rows = {r["panel"]: r for r in result.rows}
+    # Init + iteration 1 (5a): the CPU wrote all pointer slots + scalars --
+    # far more of the object than any later iteration touches.
+    assert rows["a"]["touched"] > 3 * rows["d"]["touched"]
+    assert rows["a"]["touched"] >= 100
+    # Iteration 2 (5d): only the temporary pointers + scalars are written.
+    assert rows["d"]["touched"] < 0.1 * rows["d"]["words"]
+    # The steady-state overlap of CPU writes and GPU reads is exactly the
+    # paper's 18 alternating words (9 temp pointers x 2 shadow words).
+    assert rows["overlap"]["touched"] == 18

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig 6 (LULESH remedy speedups on three platforms)."""
+
+from repro.evalx import fig6
+
+
+def test_fig6_lulesh_speedups(once):
+    # 16 timesteps, the paper's Table III configuration; fewer iterations
+    # under-amortize the one-time array migration and depress speedups.
+    result = once(fig6, sizes=(8, 16, 32, 48), iterations=16)
+    print("\n" + result.text)
+    by = {(r["platform"], r["size"]): r for r in result.rows}
+
+    # Intel nodes: large speedups at size 48 (paper: 2.75x-3.7x band).
+    for plat in ("intel-pascal", "intel-volta"):
+        big = by[(plat, 48)]
+        assert big["read_mostly"] > 2.0
+        assert big["duplicate"] > 2.3
+        assert big["duplicate"] >= big["read_mostly"] * 0.95
+        # All remedies help on PCIe.
+        for remedy in ("read_mostly", "preferred_cpu", "accessed_by", "duplicate"):
+            assert big[remedy] > 1.0
+        # Speedup grows (or holds) with problem size.
+        assert big["read_mostly"] > by[(plat, 8)]["read_mostly"]
+
+    # Volta's faster compute gives it the higher ratio, as in the paper
+    # (3.7x vs 3.1x for duplication).
+    assert by[("intel-volta", 48)]["duplicate"] >= \
+        by[("intel-pascal", 48)]["duplicate"] * 0.98
+
+    # Power9/NVLink: duplication is a wash (paper: 1.03x), ReadMostly is a
+    # slowdown (paper: 0.8x).
+    p9 = by[("power9-volta", 48)]
+    assert 0.9 < p9["duplicate"] < 1.15
+    assert p9["read_mostly"] < 1.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 7 (Smith-Waterman H initialization vs usage)."""
+
+from repro.evalx import fig7
+
+
+def test_fig7_sw_initialization_maps(once):
+    result = once(fig7)
+    print("\n" + result.text)
+    a = next(r for r in result.rows if r["panel"] == "a")
+    b = next(r for r in result.rows if r["panel"] == "b")
+    # 7a: the CPU initialized the entire matrix.
+    assert a["touched"] == a["words"]
+    # 7b: only the boundary (first row + first column) was ever read:
+    # (n+1) + (m+1) - 1 = 21 + 11 - 1 = 31 of 231 words.
+    assert b["touched"] == 31
+    assert b["words"] == 231

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 8 (Smith-Waterman GPU accesses in iteration 8)."""
+
+from repro.evalx import fig8
+
+
+def test_fig8_sw_iteration8_maps(once):
+    result = once(fig8)
+    print("\n" + result.text)
+    a = next(r for r in result.rows if r["panel"] == "a")
+    b = next(r for r in result.rows if r["panel"] == "b")
+    # 8a: the GPU wrote exactly the cells of diagonal 8.
+    assert a["diagonals"] == [8]
+    assert a["touched"] == 7  # interior cells of k=8 on a 20x10 input
+    # 8b: the GPU-origin values it read came from diagonals 6 and 7.
+    assert set(b["diagonals"]) <= {6, 7}
+    assert 7 in b["diagonals"]

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 9 (Smith-Waterman rotated-version speedups)."""
+
+from repro.evalx import fig9
+
+
+def test_fig9_sw_speedups(once):
+    # Paper sizes / 20 with GPU memory / 400 keeps the bench quick while
+    # preserving the 45000 -> 46000 oversubscription crossover.
+    result = once(fig9, scale=20)
+    print("\n" + result.text)
+    for plat in ("intel-pascal", "power9-volta"):
+        rows = [r for r in result.rows if r["platform"] == plat]
+        fits = [r for r in rows if not r["oversubscribed"]]
+        over = [r for r in rows if r["oversubscribed"]][0]
+        # The rotated version wins clearly at the larger in-memory sizes...
+        assert fits[-1]["speedup"] > 1.5
+        # ...and the win explodes when the baseline's data set exceeds GPU
+        # memory (the paper's 24.9 s cliff).
+        assert over["speedup"] > 2 * fits[-1]["speedup"]
+        assert over["baseline_ms"] > 3 * fits[-1]["baseline_ms"]
+        # Speedup grows with input size.
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups)

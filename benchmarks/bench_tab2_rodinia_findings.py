@@ -1,0 +1,17 @@
+"""Bench: regenerate Table II (findings in the Rodinia benchmarks)."""
+
+from repro.evalx import tab2
+
+
+def test_tab2_rodinia_findings(once):
+    result = once(tab2)
+    print("\n" + result.text)
+    by = {r["benchmark"]: r for r in result.rows}
+
+    # Every benchmark's findings match the paper's table.
+    for bench in ("backprop", "cfd", "gaussian", "lud", "nn", "pathfinder"):
+        assert by[bench]["matches_paper"], bench
+
+    # And the clean benchmarks are actually clean.
+    assert by["cfd"]["findings"] == []
+    assert by["nn"]["findings"] == []

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact (figure or table) through
+the evaluation harness and asserts the *shape* invariants the paper
+reports -- who wins, by roughly what factor, where crossovers fall.
+Simulated experiments are deterministic, so a single round suffices.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def run(fn, **kwargs):
+        return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+    return run

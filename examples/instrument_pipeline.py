@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The full XPlacer tool pipeline on a mini-CUDA source program (Fig 1).
+
+This is the paper's actual workflow, end to end:
+
+1. a C/CUDA source file includes the XPlacer header and ``xpl`` pragmas;
+2. the instrumenter (the ROSE-plugin stand-in) rewrites heap accesses
+   into ``traceR``/``traceW``/``traceRW`` calls, redirects CUDA calls to
+   the ``trc*`` wrappers, and expands the diagnostic pragma;
+3. the instrumented source executes against the simulated CUDA runtime,
+   with the runtime library recording shadow memory;
+4. the embedded diagnostic prints Fig 4-style output.
+
+Run:  python examples/instrument_pipeline.py
+"""
+
+from repro.instrument import instrument_source
+from repro.interp import run_program
+
+SOURCE = r"""
+#include "xplacer.h"
+
+#pragma xpl replace cudaMallocManaged
+cudaError_t trcMallocManaged(void** ptr, size_t size);
+
+#pragma xpl replace kernel-launch
+void traceKernelLaunch(int grd, int blk, int shmem, int stream, ...);
+
+struct Field {
+    double* values;
+    int* flags;
+};
+
+__global__ void relax(double* v, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i > 0 && i < n - 1) {
+        v[i] = (v[i - 1] + v[i + 1]) * 0.5;
+    }
+}
+
+int main() {
+    struct Field f;
+    cudaMallocManaged((void**)&f.values, 64 * sizeof(double));
+    cudaMallocManaged((void**)&f.flags, 64 * sizeof(int));
+    struct Field* fp = &f;
+
+    for (int i = 0; i < 64; i++) {
+        fp->values[i] = i * 1.0;
+        fp->flags[i] = 0;
+    }
+
+    for (int step = 0; step < 3; step++) {
+        relax<<<2, 32>>>(f.values, 64);
+        fp->flags[step] = 1;
+    }
+
+    double sum = 0.0;
+    for (int i = 0; i < 64; i++) {
+        sum += fp->values[i];
+    }
+    printf("checksum=%g\n", sum);
+
+#pragma xpl diagnostic tracePrint(out; fp)
+    return 0;
+}
+"""
+
+print("=== 1. instrumented source (what the ROSE pass emits) ===")
+instrumented, info = instrument_source(SOURCE)
+print(instrumented)
+print(f"--- {sum(info.wrapped.values())} accesses wrapped "
+      f"({dict(info.wrapped)}), replacements: {info.replacements}\n")
+
+print("=== 2. executing on the simulated platform ===")
+interp = run_program(SOURCE)
+print(interp.stdout)
+
+print("=== 3. what the runtime recorded ===")
+print(f"kernel launches: {[(k.name, k.grid, k.block) for k in interp.tracer.kernels]}")
+print(f"simulated time: {interp.platform.clock.now * 1e6:.1f} us")
+print(f"driver events:  {interp.platform.events.summary()}")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The paper's flagship case study: diagnosing and fixing LULESH (§IV-A).
+
+Workflow, exactly as §III-D describes:
+
+1. run the instrumented application with per-timestep diagnostics;
+2. look for red flags in the output -- the domain object's "18 elements
+   with alternating accesses";
+3. apply a remedy (here: both the one-line ``SetReadMostly`` hint and the
+   duplicate-domain restructuring) and compare performance on all three
+   simulated testbeds.
+
+Run:  python examples/lulesh_diagnosis.py
+"""
+
+from repro.runtime import format_text
+from repro.workloads import make_session
+from repro.workloads.lulesh import VARIANTS, Lulesh
+
+# ----------------------------------------------------------------------- #
+# Step 1-2: diagnose at small size (the paper diagnoses, then times big).
+
+session = make_session("intel-pascal", trace=True, materialize=True)
+app = Lulesh(session, size=8, diagnose_each_step=True)
+run = app.run(2)
+
+second_iter = run.diagnoses[1]
+dom = second_iter.result.named("dom")
+print("=== diagnostic for the domain object, iteration 2 (cf. Fig 4) ===")
+print(format_text(type(second_iter.result)(
+    epoch=second_iter.result.epoch, reports=[dom])))
+print("findings:")
+for f in second_iter.findings:
+    print(f"  {f}")
+
+assert dom.alternating == 18, "the paper's 18 alternating elements"
+
+# ----------------------------------------------------------------------- #
+# Step 3: try the remedies and time them (cf. Fig 6).
+
+SIZE, ITERS = 32, 8
+print(f"\n=== remedy speedups at size {SIZE} (cf. Fig 6) ===")
+print(f"{'platform':14s}" + "".join(f"{v:>14s}" for v in VARIANTS[1:]))
+for platform in ("intel-pascal", "intel-volta", "power9-volta"):
+    times = {}
+    for variant in VARIANTS:
+        s = make_session(platform, trace=False, materialize=False)
+        times[variant] = Lulesh(s, SIZE, variant=variant).run(ITERS).sim_time
+    base = times["baseline"]
+    row = "".join(f"{base / times[v]:13.2f}x" for v in VARIANTS[1:])
+    print(f"{platform:14s}{row}")
+
+print("\nReading the table: on the PCIe (Intel) nodes the hints and the "
+      "duplicate-domain fix give large speedups; on the NVLink (Power9) "
+      "node coherent mappings already absorb the page-fault storm, so "
+      "duplication is a wash and ReadMostly actually hurts -- the paper's "
+      "platform-dependent conclusion.")

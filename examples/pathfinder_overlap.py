@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Pathfinder: detecting wasted transfer and overlapping it away (§IV-C).
+
+XPlacer's per-iteration analysis shows that each kernel reads only
+``100/N %`` of the upfront-transferred ``gpuWall`` (Fig 10, Table II).
+The optimization transfers each slab just in time on a copy stream,
+overlapping the previous kernel: up to ~1.13x on the PCIe node, slower
+on the NVLink node (Fig 11).
+
+Run:  python examples/pathfinder_overlap.py
+"""
+
+from repro.analysis import AntiPattern
+from repro.workloads import make_session
+from repro.workloads.rodinia import OverlappedPathfinder, Pathfinder
+
+# ----------------------------------------------------------------------- #
+# Diagnose the access pattern at map size (cf. Fig 10).
+
+session = make_session("intel-pascal", trace=True, materialize=True)
+pf = Pathfinder(session, cols=2048, rows=26, pyramid_height=5,
+                diagnose_each_iteration=True)
+run = pf.run()
+
+print("=== gpuWall reads per iteration (cf. Fig 10; '#' = touched) ===")
+for it in (1, 2, 5):
+    amap = run.diagnoses[it - 1].result.named("gpuWall").maps["gpu_read"]
+    pct = 100 * amap.touched / amap.words
+    print(f"\niteration {it} ({pct:.0f}% of the array):")
+    print(amap.to_ascii(128))
+
+first = run.diagnoses[0]
+wasted = [f for f in first.findings
+          if f.pattern is AntiPattern.UNNECESSARY_TRANSFER_IN]
+print("\nfirst-iteration finding:", wasted[0] if wasted else "none")
+
+# ----------------------------------------------------------------------- #
+# Time baseline vs overlapped transfer (cf. Fig 11).
+
+print("\n=== overlap speedups, cols=1M, pyramid height 20 (cf. Fig 11) ===")
+for platform in ("intel-pascal", "power9-volta"):
+    for rows in (200, 600, 1000):
+        s1 = make_session(platform, trace=False, materialize=False)
+        base = Pathfinder(s1, cols=1_000_000, rows=rows,
+                          pyramid_height=20).run()
+        s2 = make_session(platform, trace=False, materialize=False)
+        opt = OverlappedPathfinder(s2, cols=1_000_000, rows=rows,
+                                   pyramid_height=20).run()
+        print(f"{platform:14s} rows={rows:5d}: "
+              f"{base.sim_time * 1e3:7.1f} ms -> {opt.sim_time * 1e3:7.1f} ms "
+              f"({base.sim_time / opt.sim_time:5.3f}x)")
+
+print("\nOverlap hides the kernels under the (dominant) PCIe transfer; on "
+      "NVLink the transfer is cheap and the per-chunk stream overhead "
+      "makes the revised version slower -- the paper's exact conclusion.")

@@ -1,0 +1,21 @@
+"""XPlacer reproduction: automatic analysis of data access patterns on
+heterogeneous CPU/GPU systems (Pirkelbauer et al., IPDPS 2020).
+
+Subpackages:
+
+* :mod:`repro.memsim` -- simulated heterogeneous node (unified memory,
+  interconnects, platform presets for the paper's three testbeds);
+* :mod:`repro.cudart` -- simulated CUDA runtime API + CUPTI-style profiler;
+* :mod:`repro.runtime` -- the XPlacer runtime library (shadow memory,
+  tracing API, diagnostics, exports);
+* :mod:`repro.analysis` -- anti-pattern detectors and the placement advisor;
+* :mod:`repro.instrument` -- mini-CUDA source instrumenter (ROSE stand-in);
+* :mod:`repro.interp` -- executor for instrumented mini-CUDA programs;
+* :mod:`repro.workloads` -- LULESH, Smith-Waterman and Rodinia ports;
+* :mod:`repro.evalx` -- per-figure/table evaluation harness
+  (``python -m repro.evalx``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

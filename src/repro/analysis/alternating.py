@@ -1,0 +1,75 @@
+"""Detector: alternating CPU/GPU accesses in managed memory (§III-A #1).
+
+Fires for managed allocations where CPU and GPU both touched the same
+words and at least one of the accesses was a write, *and* the advice
+currently applied does not already match the observed behaviour (e.g.
+``SetReadMostly`` on data that both processors only read is consistent;
+``SetReadMostly`` on data that is being written every epoch is a
+mismatch and still fires).
+"""
+
+from __future__ import annotations
+
+from ..cudart.advice import cudaMemoryAdvise
+from ..memsim import MemoryKind
+from ..runtime.diagnostics import AllocationReport, DiagnosticResult
+from ..runtime.tracer import Tracer
+
+from .patterns import AntiPattern, Finding, remedies_for
+
+__all__ = ["detect_alternating"]
+
+
+def _advice_matches(report: AllocationReport, advice: set[cudaMemoryAdvise]) -> bool:
+    """Whether existing advice already addresses the observed pattern."""
+    c = report.counts
+    A = cudaMemoryAdvise
+    if A.cudaMemAdviseSetReadMostly in advice:
+        # ReadMostly matches when writes are rare relative to cross reads;
+        # re-written-every-epoch data under ReadMostly is still a problem.
+        writes = c.cpu_written + c.gpu_written
+        cross_reads = c.read_cg + c.read_gc
+        return writes <= max(1, cross_reads // 8)
+    if A.cudaMemAdviseSetPreferredLocation in advice:
+        return True  # placement was chosen deliberately; faults are mapped
+    if A.cudaMemAdviseSetAccessedBy in advice:
+        return True  # mappings suppress the fault storm
+    return False
+
+
+def detect_alternating(
+    result: DiagnosticResult,
+    tracer: Tracer,
+    *,
+    min_words: int = 1,
+) -> list[Finding]:
+    """Findings for every managed allocation with alternating accesses.
+
+    :param min_words: minimum alternating word count to report.
+    """
+    findings: list[Finding] = []
+    for report in result.reports:
+        if report.alloc.kind is not MemoryKind.MANAGED:
+            continue
+        if report.alternating < min_words:
+            continue
+        advice = tracer.advice_for(report.alloc)
+        if _advice_matches(report, advice):
+            continue
+        findings.append(Finding(
+            pattern=AntiPattern.ALTERNATING_ACCESS,
+            name=report.name,
+            alloc=report.alloc,
+            metric=float(report.alternating),
+            detail=(
+                f"{report.alternating} words accessed by both CPU and GPU "
+                f"with at least one write "
+                f"(C writes={report.counts.cpu_written}, "
+                f"G writes={report.counts.gpu_written}, "
+                f"C>G reads={report.counts.read_cg}, "
+                f"G>C reads={report.counts.read_gc})"
+            ),
+            remedies=remedies_for(AntiPattern.ALTERNATING_ACCESS),
+            epoch=result.epoch,
+        ))
+    return findings

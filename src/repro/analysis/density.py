@@ -1,0 +1,101 @@
+"""Detector: low access density (§III-A #2).
+
+For each traced allocation that was touched this epoch, compute
+
+.. math::
+
+    \\frac{\\sum_{addr} accessed(addr)}{size(block)} \\le threshold
+
+at a user-defined block granularity: with the default block size of the
+whole allocation this is the paper's Fig 4 "access density (in %)" line;
+smaller block sizes localize the sparse region (which pages of a matrix a
+wavefront actually touches, as in Smith-Waterman).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memsim import MemoryKind
+from ..runtime.diagnostics import DiagnosticResult
+from .patterns import AntiPattern, Finding, remedies_for
+
+__all__ = ["detect_low_density", "block_densities"]
+
+
+def block_densities(mask: np.ndarray, block_words: int) -> np.ndarray:
+    """Per-block access density of a word mask (last block padded)."""
+    if block_words <= 0:
+        raise ValueError("block_words must be positive")
+    nblocks = -(-len(mask) // block_words)
+    padded = np.zeros(nblocks * block_words, dtype=np.float64)
+    padded[: len(mask)] = mask
+    dens = padded.reshape(nblocks, block_words).mean(axis=1)
+    # The tail block's density is over its real words, not the padding.
+    tail = len(mask) - (nblocks - 1) * block_words
+    if tail != block_words and nblocks > 0:
+        dens[-1] = mask[(nblocks - 1) * block_words:].sum() / tail
+    return dens
+
+
+def detect_low_density(
+    result: DiagnosticResult,
+    *,
+    threshold: float = 0.5,
+    block_words: int | None = None,
+) -> list[Finding]:
+    """Findings for touched allocations whose density is below threshold.
+
+    Applies to managed memory and to ``cudaMalloc`` memory that received a
+    transfer (both arms of the paper's pattern description).  Host-heap
+    allocations are exempt -- the pattern is about transferred bytes.
+
+    :param block_words: analyze at this sub-block granularity; ``None``
+        treats the whole allocation as one block.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    findings: list[Finding] = []
+    for report in result.reports:
+        if report.alloc.kind is MemoryKind.HOST:
+            continue
+        if not report.touched:
+            continue  # paper: needs "at least one access"
+        density = report.counts.density
+        sparse_blocks: tuple[tuple[int, int], ...] = ()
+        if block_words is not None:
+            if "accessed" not in report.maps:
+                raise ValueError(
+                    "block-granular density needs trace_print(include_maps=True)"
+                )
+            mask = report.maps["accessed"].mask
+            dens = block_densities(mask, block_words)
+            touched_blocks = [
+                i for i, d in enumerate(dens)
+                if d > 0 and d <= threshold
+            ]
+            if not touched_blocks and density > threshold:
+                continue
+            sparse_blocks = tuple(
+                (i * block_words, min((i + 1) * block_words, len(mask)))
+                for i in touched_blocks
+            )
+        if density > threshold and not sparse_blocks:
+            continue
+        findings.append(Finding(
+            pattern=AntiPattern.LOW_ACCESS_DENSITY,
+            name=report.name,
+            alloc=report.alloc,
+            metric=density,
+            detail=(
+                f"access density {density:.1%} "
+                f"({report.counts.accessed_words} of "
+                f"{report.counts.total_words} words) "
+                f"is at or below the {threshold:.0%} threshold"
+                + (f"; {len(sparse_blocks)} sparse blocks" if sparse_blocks else "")
+            ),
+            remedies=remedies_for(AntiPattern.LOW_ACCESS_DENSITY),
+            epoch=result.epoch,
+            ranges=sparse_blocks,
+        ))
+    return findings

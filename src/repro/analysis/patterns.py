@@ -1,0 +1,92 @@
+"""Anti-pattern findings (paper §III-A).
+
+The three anti-patterns the paper targets, plus two refinements of the
+"unnecessary data transfers" pattern that the Table II case studies rely
+on (an allocation that is never used at all, and data transferred in but
+overwritten before any read).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..memsim import Allocation
+
+__all__ = ["AntiPattern", "Finding"]
+
+
+class AntiPattern(enum.Enum):
+    """The detected anti-pattern categories."""
+
+    ALTERNATING_ACCESS = "alternating CPU/GPU accesses in managed memory"
+    LOW_ACCESS_DENSITY = "low access density"
+    UNNECESSARY_TRANSFER_IN = "data transferred to GPU but never accessed"
+    TRANSFER_OVERWRITTEN = "data transferred to GPU but overwritten before use"
+    UNNECESSARY_TRANSFER_OUT = "unmodified data transferred back to CPU"
+    UNUSED_ALLOCATION = "allocation never accessed"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed anti-pattern instance.
+
+    :param pattern: which anti-pattern fired.
+    :param name: diagnostic name of the allocation.
+    :param alloc: the allocation itself.
+    :param metric: the pattern's headline number (alternating word count,
+        density fraction, wasted bytes, ...).
+    :param detail: human-readable explanation with concrete numbers.
+    :param remedies: the paper's suggested fixes for this pattern.
+    :param epoch: diagnostic epoch the finding belongs to.
+    :param ranges: contiguous word ranges supporting the finding (for the
+        transfer patterns).
+    """
+
+    pattern: AntiPattern
+    name: str
+    alloc: Allocation
+    metric: float
+    detail: str
+    remedies: tuple[str, ...] = ()
+    epoch: int = 0
+    ranges: tuple[tuple[int, int], ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.pattern.name}] {self.name}: {self.detail}"
+
+
+#: Remedy catalogue, straight from §III-A.
+REMEDIES: dict[AntiPattern, tuple[str, ...]] = {
+    AntiPattern.ALTERNATING_ACCESS: (
+        "provide appropriate memory access hints (cudaMemAdvise) for "
+        "individual memory regions",
+        "if the accesses are to disjoint regions, split the object into a "
+        "CPU part and a GPU part to avoid false-sharing-like page faults",
+    ),
+    AntiPattern.LOW_ACCESS_DENSITY: (
+        "partition the data transfer to overlap computation and communication",
+        "optimize the data layout to transfer less data",
+        "replace cudaMalloc with cudaMallocManaged",
+    ),
+    AntiPattern.UNNECESSARY_TRANSFER_IN: (
+        "revise the algorithm to eliminate transfers of memory that is "
+        "never accessed on the GPU",
+    ),
+    AntiPattern.TRANSFER_OVERWRITTEN: (
+        "eliminate the initial transfer: the GPU overwrites the data "
+        "before using it",
+    ),
+    AntiPattern.UNNECESSARY_TRANSFER_OUT: (
+        "revise the algorithm to eliminate transfers of memory that was "
+        "not altered on the GPU",
+    ),
+    AntiPattern.UNUSED_ALLOCATION: (
+        "remove the allocation: it is never accessed",
+    ),
+}
+
+
+def remedies_for(pattern: AntiPattern) -> tuple[str, ...]:
+    """The paper's suggested fixes for ``pattern``."""
+    return REMEDIES[pattern]

@@ -1,0 +1,154 @@
+"""Automatic placement recommendations -- closing the diagnose->fix loop.
+
+The paper stops at *reporting* anti-patterns and leaves the fix to "skilled
+programmers" (§III-D), pointing to RTHMS [25] for rule-based automatic
+placement and to future work for a smarter runtime.  This module provides
+that step for the simulated runtime: given a diagnosis epoch, it derives a
+``cudaMemAdvise`` plan per allocation from the observed access mix, and
+can apply the plan directly.
+
+Rules (derived from §II-B semantics and the §IV-A findings):
+
+* written by one processor only, read by the other   -> ``SetReadMostly``
+  *only if* writes are rare relative to cross reads (otherwise the
+  invalidation churn makes it a loss, as the paper measured on NVLink);
+* alternating with frequent writes, CPU-heavy        -> ``SetPreferredLocation(CPU)``
+  plus ``SetAccessedBy(GPU)`` so the GPU maps instead of migrating;
+* alternating with frequent writes, GPU-heavy        -> ``SetPreferredLocation(GPU)``
+  plus ``SetAccessedBy(CPU)``;
+* touched by a single processor                      -> ``SetPreferredLocation``
+  there (pins the data where it lives; harmless and fault-free);
+* untouched allocations                              -> no advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cudart.advice import cudaMemoryAdvise
+from ..cudart.api import CudaRuntime
+from ..cudart.memory import DevicePtr
+from ..memsim import CPU_DEVICE_ID, GPU_DEVICE_ID, Allocation, MemoryKind
+
+from .advisor import Diagnosis
+
+__all__ = ["PlacementAction", "PlacementPlan", "recommend_placement",
+           "apply_plan"]
+
+A = cudaMemoryAdvise
+
+
+@dataclass(frozen=True)
+class PlacementAction:
+    """One ``cudaMemAdvise`` call to issue."""
+
+    alloc: Allocation
+    advice: cudaMemoryAdvise
+    device_id: int
+    reason: str
+
+    def __str__(self) -> str:
+        dev = {CPU_DEVICE_ID: "cpu", GPU_DEVICE_ID: "gpu"}.get(
+            self.device_id, str(self.device_id))
+        return (f"{self.advice.name}({self.alloc.label or hex(self.alloc.base)}"
+                f", {dev})  # {self.reason}")
+
+
+@dataclass
+class PlacementPlan:
+    """The full set of recommended advice for one diagnosis."""
+
+    actions: list[PlacementAction] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def for_allocation(self, label: str) -> list[PlacementAction]:
+        """Actions targeting the allocation labelled/named ``label``."""
+        return [a for a in self.actions if a.alloc.label == label]
+
+    def summary(self) -> str:
+        """Human-readable plan listing."""
+        if not self.actions:
+            return "no placement changes recommended\n"
+        return "".join(f"  {a}\n" for a in self.actions)
+
+
+def recommend_placement(diagnosis: Diagnosis, *,
+                        write_share_threshold: float = 0.125) -> PlacementPlan:
+    """Derive a ``cudaMemAdvise`` plan from one diagnosis epoch.
+
+    :param write_share_threshold: above this ratio of written words to
+        cross-processor-read words, ``SetReadMostly`` is considered
+        counter-productive and a preferred-location pin is used instead.
+    """
+    plan = PlacementPlan()
+    seen: set[int] = set()
+    for report in diagnosis.result.reports:
+        alloc = report.alloc
+        if alloc.kind is not MemoryKind.MANAGED or alloc.freed:
+            continue
+        if alloc.base in seen:
+            continue
+        seen.add(alloc.base)
+        c = report.counts
+        cpu_side = c.cpu_written + c.read_cc + c.read_gc
+        gpu_side = c.gpu_written + c.read_cg + c.read_gg
+        if cpu_side == 0 and gpu_side == 0:
+            continue  # untouched this epoch: leave alone
+
+        shared = cpu_side > 0 and gpu_side > 0
+        if not shared:
+            # Exclusive access: pin the data where its user lives.
+            proc_id = GPU_DEVICE_ID if gpu_side > cpu_side else CPU_DEVICE_ID
+            where = "gpu" if proc_id == GPU_DEVICE_ID else "cpu"
+            plan.actions.append(PlacementAction(
+                alloc, A.cudaMemAdviseSetPreferredLocation, proc_id,
+                f"accessed only via the {where.upper()} this epoch"))
+            continue
+
+        writes = c.cpu_written + c.gpu_written
+        cross_reads = c.read_cg + c.read_gc
+        if writes <= max(1, int(cross_reads * write_share_threshold)):
+            plan.actions.append(PlacementAction(
+                alloc, A.cudaMemAdviseSetReadMostly, GPU_DEVICE_ID,
+                f"shared but rarely written ({writes} written words vs "
+                f"{cross_reads} cross reads)"))
+            continue
+
+        # Frequently-written shared data: keep it at the heavier writer and
+        # let the other side map it remotely instead of migrating.
+        cpu_writes, gpu_writes = c.cpu_written, c.gpu_written
+        if cpu_writes >= gpu_writes:
+            home, visitor = CPU_DEVICE_ID, GPU_DEVICE_ID
+            tag = "CPU-written, GPU-read"
+        else:
+            home, visitor = GPU_DEVICE_ID, CPU_DEVICE_ID
+            tag = "GPU-written, CPU-read"
+        plan.actions.append(PlacementAction(
+            alloc, A.cudaMemAdviseSetPreferredLocation, home,
+            f"alternating, {tag}: pin at the writer"))
+        plan.actions.append(PlacementAction(
+            alloc, A.cudaMemAdviseSetAccessedBy, visitor,
+            "map for the visitor to avoid the fault storm"))
+    return plan
+
+
+def apply_plan(runtime: CudaRuntime, plan: PlacementPlan) -> int:
+    """Issue every action of ``plan`` through the runtime.
+
+    Returns the number of ``cudaMemAdvise`` calls issued.  Actions whose
+    allocation has been freed since diagnosis are skipped.
+    """
+    issued = 0
+    for action in plan:
+        if action.alloc.freed:
+            continue
+        ptr = DevicePtr(runtime, action.alloc)
+        runtime.mem_advise(ptr, action.alloc.size, action.advice,
+                           action.device_id)
+        issued += 1
+    return issued

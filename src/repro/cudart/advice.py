@@ -1,0 +1,28 @@
+"""``cudaMemAdvise`` advice enum (paper §II-B)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["cudaMemoryAdvise", "cudaMemcpyKind"]
+
+
+class cudaMemoryAdvise(enum.Enum):
+    """The six advice values accepted by ``cudaMemAdvise``."""
+
+    cudaMemAdviseSetReadMostly = 1
+    cudaMemAdviseUnsetReadMostly = 2
+    cudaMemAdviseSetPreferredLocation = 3
+    cudaMemAdviseUnsetPreferredLocation = 4
+    cudaMemAdviseSetAccessedBy = 5
+    cudaMemAdviseUnsetAccessedBy = 6
+
+
+class cudaMemcpyKind(enum.Enum):
+    """Direction argument of ``cudaMemcpy``."""
+
+    cudaMemcpyHostToHost = 0
+    cudaMemcpyHostToDevice = 1
+    cudaMemcpyDeviceToHost = 2
+    cudaMemcpyDeviceToDevice = 3
+    cudaMemcpyDefault = 4

@@ -1,0 +1,32 @@
+"""CUDA-style error codes and exceptions for the simulated runtime.
+
+The real CUDA runtime reports failures through ``cudaError_t`` return
+codes.  The simulated API keeps the enum for fidelity (wrappers like
+``trcMalloc`` return it, matching the paper's Table I declarations) but
+raises :class:`CudaError` for conditions that would crash or corrupt a
+real program, so tests can assert on them directly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["cudaError_t", "CudaError"]
+
+
+class cudaError_t(enum.Enum):
+    """Subset of CUDA runtime error codes used by the simulator."""
+
+    cudaSuccess = 0
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInvalidValue = 11
+    cudaErrorInvalidDevicePointer = 17
+    cudaErrorInvalidMemcpyDirection = 21
+
+
+class CudaError(RuntimeError):
+    """A simulated CUDA runtime failure."""
+
+    def __init__(self, code: cudaError_t, message: str = "") -> None:
+        self.code = code
+        super().__init__(f"{code.name}: {message}" if message else code.name)

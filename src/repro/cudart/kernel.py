@@ -1,0 +1,73 @@
+"""Kernel launch machinery for the simulated GPU.
+
+Kernels are Python callables with signature ``kernel(ctx, *args)`` where
+``ctx`` is a :class:`KernelContext`.  The body expresses the *whole grid's*
+work with vectorized operations on :class:`~repro.cudart.memory.ArrayView`
+objects -- data-parallel semantics without a per-thread Python loop.  (The
+mini-CUDA interpreter in :mod:`repro.interp` provides true per-thread
+execution for instrumented source programs.)
+
+While a kernel body runs, the owning :class:`~repro.cudart.api.CudaRuntime`
+switches its access context to the GPU, so every view access is attributed
+to the GPU, charged GPU-side fault costs (with the grid size as the replay
+accessor count), and traced as a GPU access by XPlacer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import CudaRuntime
+
+__all__ = ["KernelContext", "LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """The ``<<<grid, block>>>`` pair of a kernel launch."""
+
+    grid: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0 or self.block <= 0:
+            raise ValueError("grid and block must be positive")
+
+    @property
+    def threads(self) -> int:
+        """Total threads in the launch."""
+        return self.grid * self.block
+
+
+@dataclass
+class KernelContext:
+    """Execution context handed to a kernel body."""
+
+    runtime: "CudaRuntime"
+    config: LaunchConfig
+    name: str
+
+    @property
+    def grid(self) -> int:
+        """Number of thread blocks."""
+        return self.config.grid
+
+    @property
+    def block(self) -> int:
+        """Threads per block."""
+        return self.config.block
+
+    @property
+    def threads(self) -> int:
+        """Total threads."""
+        return self.config.threads
+
+    @property
+    def functional(self) -> bool:
+        """Whether this run materializes data (vs footprint/timing only)."""
+        return self.runtime.materialize
+
+
+KernelFn = Callable[..., None]

@@ -1,0 +1,219 @@
+"""Pointers and typed array views over simulated memory.
+
+A :class:`DevicePtr` is what the simulated ``cudaMalloc`` family returns:
+an address plus its backing :class:`~repro.memsim.Allocation`.  Workloads
+access memory through :class:`ArrayView`, a typed window that routes every
+read/write through the runtime -- which charges the unified-memory driver,
+notifies observers (the XPlacer tracer), and touches the real numpy backing
+when the allocation is materialized.
+
+Views support contiguous ranges and gather/scatter index arrays; both are
+vectorized (one runtime call per operation, numpy fancy indexing for the
+data), per the HPC guides' "no per-element Python loops on hot paths" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..memsim import Allocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import CudaRuntime
+
+__all__ = ["DevicePtr", "ArrayView"]
+
+
+@dataclass(frozen=True)
+class DevicePtr:
+    """A pointer into a simulated allocation."""
+
+    runtime: "CudaRuntime"
+    alloc: Allocation
+    offset: int = 0
+
+    @property
+    def addr(self) -> int:
+        """The virtual address this pointer holds."""
+        return self.alloc.base + self.offset
+
+    def __add__(self, nbytes: int) -> "DevicePtr":
+        if not 0 <= self.offset + nbytes <= self.alloc.size:
+            raise ValueError("pointer arithmetic escapes the allocation")
+        return DevicePtr(self.runtime, self.alloc, self.offset + nbytes)
+
+    def typed(self, dtype: Any, count: int | None = None, *, offset_bytes: int = 0) -> "ArrayView":
+        """A typed :class:`ArrayView` of ``count`` elements at this pointer."""
+        dt = np.dtype(dtype)
+        start = self.offset + offset_bytes
+        avail = (self.alloc.size - start) // dt.itemsize
+        if count is None:
+            count = avail
+        if count < 0 or count > avail:
+            raise ValueError(
+                f"view of {count} x {dt} does not fit allocation "
+                f"{self.alloc.label or hex(self.alloc.base)}"
+            )
+        return ArrayView(self.runtime, self.alloc, start, dt, count)
+
+
+class ArrayView:
+    """A typed, traced window onto an allocation.
+
+    All data methods accept half-open element ranges.  In footprint-only
+    allocations (no backing buffer) the access is still fully simulated
+    and traced, but ``read`` returns ``None`` and ``write`` ignores its
+    values -- workloads test ``view.functional`` or the return value.
+    """
+
+    __slots__ = ("runtime", "alloc", "byte_offset", "dtype", "length")
+
+    def __init__(self, runtime: "CudaRuntime", alloc: Allocation,
+                 byte_offset: int, dtype: np.dtype, length: int) -> None:
+        self.runtime = runtime
+        self.alloc = alloc
+        self.byte_offset = byte_offset
+        self.dtype = np.dtype(dtype)
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArrayView({self.alloc.label or hex(self.alloc.base)}"
+                f"+{self.byte_offset}, {self.dtype}, n={self.length})")
+
+    @property
+    def functional(self) -> bool:
+        """Whether real data backs this view."""
+        return self.alloc.materialized
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.dtype.itemsize
+
+    @property
+    def addr(self) -> int:
+        """Address of element 0."""
+        return self.alloc.base + self.byte_offset
+
+    def subview(self, lo: int, hi: int | None = None) -> "ArrayView":
+        """A narrower view over elements ``[lo, hi)``."""
+        lo, hi = self._range(lo, hi)
+        return ArrayView(self.runtime, self.alloc,
+                         self.byte_offset + lo * self.itemsize,
+                         self.dtype, hi - lo)
+
+    # ------------------------------------------------------------------ #
+    # raw (untraced) access -- for test setup and result inspection only
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Direct numpy view, bypassing tracing and the UM driver."""
+        return self.alloc.view(self.dtype, offset=self.byte_offset, count=self.length)
+
+    # ------------------------------------------------------------------ #
+    # traced access
+
+    def read(self, lo: int = 0, hi: int | None = None) -> np.ndarray | None:
+        """Read elements ``[lo, hi)``; ``None`` when footprint-only."""
+        lo, hi = self._range(lo, hi)
+        if hi == lo:
+            return self.raw[lo:hi] if self.functional else None
+        self._record(lo, hi, is_write=False)
+        return self.raw[lo:hi].copy() if self.functional else None
+
+    def write(self, lo: int, values: Any = None, hi: int | None = None) -> None:
+        """Write elements ``[lo, hi)``.
+
+        When ``hi`` is omitted it is inferred from the shape of ``values``
+        (scalar values require an explicit ``hi``).
+        """
+        if hi is None:
+            n = np.ndim(values) and len(np.atleast_1d(values))
+            if not n:
+                raise ValueError("write of a scalar needs an explicit hi")
+            hi = lo + n
+        lo, hi = self._range(lo, hi)
+        if hi == lo:
+            return
+        self._record(lo, hi, is_write=True)
+        if self.functional and values is not None:
+            self.raw[lo:hi] = values
+
+    def rmw(self, lo: int, hi: int | None = None, fn: Any = None) -> None:
+        """Read-modify-write ``[lo, hi)`` (e.g. ``+=``); traced as RMW."""
+        lo, hi = self._range(lo, hi if hi is not None else lo + 1)
+        self._record(lo, hi, is_write=True, is_rmw=True)
+        if self.functional and fn is not None:
+            self.raw[lo:hi] = fn(self.raw[lo:hi])
+
+    def gather(self, indices: np.ndarray) -> np.ndarray | None:
+        """Read at ``indices`` (element granularity, traced individually)."""
+        idx = self._indices(indices)
+        if len(idx) == 0:
+            return np.empty(0, self.dtype) if self.functional else None
+        self._record_indexed(idx, is_write=False)
+        return self.raw[idx].copy() if self.functional else None
+
+    def scatter(self, indices: np.ndarray, values: Any = None) -> None:
+        """Write at ``indices``."""
+        idx = self._indices(indices)
+        if len(idx) == 0:
+            return
+        self._record_indexed(idx, is_write=True)
+        if self.functional and values is not None:
+            self.raw[idx] = values
+
+    def fill(self, value: Any, lo: int = 0, hi: int | None = None) -> None:
+        """Write a constant over ``[lo, hi)`` (a traced memset)."""
+        lo, hi = self._range(lo, hi)
+        if hi == lo:
+            return
+        self._record(lo, hi, is_write=True)
+        if self.functional:
+            self.raw[lo:hi] = value
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _range(self, lo: int, hi: int | None) -> tuple[int, int]:
+        if hi is None:
+            hi = self.length
+        if not 0 <= lo <= hi <= self.length:
+            raise IndexError(
+                f"element range [{lo},{hi}) out of bounds for view of {self.length}"
+            )
+        return lo, hi
+
+    def _indices(self, indices: Any) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if len(idx) and (idx.min() < 0 or idx.max() >= self.length):
+            raise IndexError("gather/scatter index out of bounds")
+        return idx
+
+    def _record(self, lo: int, hi: int, *, is_write: bool, is_rmw: bool = False) -> None:
+        self.runtime.record_access(
+            self.alloc,
+            self.byte_offset + lo * self.itemsize,
+            self.itemsize,
+            hi - lo,
+            is_write=is_write,
+            indices=None,
+            is_rmw=is_rmw,
+        )
+
+    def _record_indexed(self, idx: np.ndarray, *, is_write: bool) -> None:
+        self.runtime.record_access(
+            self.alloc,
+            self.byte_offset,
+            self.itemsize,
+            len(idx),
+            is_write=is_write,
+            indices=idx,
+            is_rmw=False,
+        )

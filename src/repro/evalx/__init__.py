@@ -1,0 +1,21 @@
+"""Evaluation harness: one experiment per paper figure/table.
+
+Use ``python -m repro.evalx`` (or the ``xplacer-eval`` script) to
+regenerate everything, or import the experiment functions directly::
+
+    from repro.evalx import EXPERIMENTS
+    result = EXPERIMENTS["fig6"]()
+    for row in result.rows: ...
+"""
+
+from . import figures, tables  # noqa: F401  (registration side effects)
+from .base import EXPERIMENTS, ExperimentResult
+from .figures import fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11
+from .tables import TABLE2_EXPECTED, tab2, tab3
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "TABLE2_EXPECTED", "tab2", "tab3",
+]

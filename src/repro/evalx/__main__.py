@@ -1,0 +1,5 @@
+"""``python -m repro.evalx`` entry point."""
+
+from .runner import main
+
+raise SystemExit(main())

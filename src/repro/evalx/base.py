@@ -1,0 +1,48 @@
+"""Experiment scaffolding for the evaluation harness.
+
+Every paper artifact (figure or table) has one experiment function that
+regenerates it.  Experiments return an :class:`ExperimentResult` holding
+both machine-readable rows and the formatted text the CLI prints; the
+``benchmarks/`` suite wraps the same functions in pytest-benchmark cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment."""
+
+    name: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    text: str = ""
+
+    def __str__(self) -> str:
+        header = f"== {self.name}: {self.title} =="
+        return f"{header}\n{self.text}"
+
+
+#: Registry: experiment id (fig4..fig11, tab2, tab3) -> callable.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(name: str, title: str):
+    """Register an experiment function under ``name``."""
+
+    def wrap(fn):
+        def run(**kwargs) -> ExperimentResult:
+            return fn(ExperimentResult(name=name, title=title), **kwargs)
+
+        run.__name__ = fn.__name__
+        run.__doc__ = fn.__doc__
+        run.title = title
+        EXPERIMENTS[name] = run
+        return run
+
+    return wrap

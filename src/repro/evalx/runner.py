@@ -1,0 +1,93 @@
+"""CLI for the evaluation harness: ``python -m repro.evalx [ids...]``.
+
+Running with no arguments regenerates every figure and table.  Each
+experiment prints the rows/series the paper reports; ``--list`` shows the
+catalogue with the paper artifact each id corresponds to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from pathlib import Path
+
+from . import figures, tables  # noqa: F401  (importing registers experiments)
+from .base import EXPERIMENTS, ExperimentResult
+
+__all__ = ["main", "rows_to_csv"]
+
+
+def rows_to_csv(result: ExperimentResult) -> str:
+    """Render an experiment's rows as CSV (for external plotting)."""
+    if not result.rows:
+        return ""
+    fields: list[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({k: _cell(v) for k, v in row.items()})
+    return buf.getvalue()
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple, set)):
+        return ";".join(str(v) for v in sorted(value, key=str))
+    return value
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="xplacer-eval",
+        description="Regenerate the XPlacer paper's figures and tables "
+                    "on the simulated platforms.",
+    )
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (fig4..fig11, tab2, tab3); "
+                             "default: all")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller configurations (tab3)")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also write each experiment's rows as "
+                             "DIR/<id>.csv")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in EXPERIMENTS.items():
+            print(f"{name:8s} {fn.title}")
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    csv_dir = None
+    if args.csv:
+        csv_dir = Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in ids:
+        kwargs = {"quick": True} if (args.quick and name == "tab3") else {}
+        result = EXPERIMENTS[name](**kwargs)
+        print(result)
+        if csv_dir is not None:
+            (csv_dir / f"{name}.csv").write_text(rows_to_csv(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

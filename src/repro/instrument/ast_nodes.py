@@ -1,0 +1,288 @@
+"""AST node definitions for the mini-CUDA C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .typesys import CType, StructType, TypeTable
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "FloatLit", "CharLit", "StringLit", "BoolLit", "NullLit",
+    "Ident", "Raw", "Unary", "Binary", "Assign", "Ternary", "Call", "Member",
+    "Index", "Cast", "SizeofType", "SizeofExpr", "KernelLaunch", "NewExpr",
+    "ExprStmt", "DeclStmt", "VarDecl", "If", "While", "DoWhile", "For",
+    "Return", "Break", "Continue", "Block", "Pragma", "Directive",
+    "FunctionDef", "Param", "StructDef", "TranslationUnit",
+]
+
+
+class Node:
+    """Base AST node."""
+
+    line: int = 0
+
+
+class Expr(Node):
+    """Base expression node."""
+
+
+class Stmt(Node):
+    """Base statement node."""
+
+
+# --------------------------------------------------------------------- #
+# expressions
+
+@dataclass
+class IntLit(Expr):
+    text: str
+
+    @property
+    def value(self) -> int:
+        t = self.text.rstrip("uUlL")
+        return int(t, 0)
+
+
+@dataclass
+class FloatLit(Expr):
+    text: str
+
+    @property
+    def value(self) -> float:
+        return float(self.text.rstrip("fFlL"))
+
+
+@dataclass
+class CharLit(Expr):
+    text: str  # includes quotes
+
+
+@dataclass
+class StringLit(Expr):
+    text: str  # includes quotes
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class NullLit(Expr):
+    spelling: str = "NULL"
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Raw(Expr):
+    """A verbatim argument carried through untouched (e.g. ``std::cout``
+    from a diagnostic pragma)."""
+
+    text: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+    prefix: bool = True  # False for postfix ++/--
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # '=', '+=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool  # True for '->'
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    ctype: CType
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    ctype: CType
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+
+
+@dataclass
+class KernelLaunch(Expr):
+    kernel: Expr
+    grid: Expr
+    block: Expr
+    shmem: Optional[Expr] = None
+    stream: Optional[Expr] = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewExpr(Expr):
+    ctype: CType
+    count: Optional[Expr] = None   # new T[count]
+    init: Optional[Expr] = None    # new T(init)
+
+
+# --------------------------------------------------------------------- #
+# statements
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    ctype: CType
+    init: Optional[Expr] = None
+    qualifiers: frozenset[str] = frozenset()
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[VarDecl]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]  # DeclStmt or ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Pragma(Stmt):
+    text: str  # full '#pragma ...' line
+
+
+@dataclass
+class Directive(Stmt):
+    text: str  # any other preprocessor line, passed through
+
+
+# --------------------------------------------------------------------- #
+# top level
+
+@dataclass
+class Param(Node):
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Optional[Block]  # None for a prototype
+    qualifiers: frozenset[str] = frozenset()
+    variadic: bool = False
+
+    @property
+    def is_kernel(self) -> bool:
+        return "__global__" in self.qualifiers
+
+
+@dataclass
+class StructDef(Node):
+    struct: StructType
+
+
+@dataclass
+class TranslationUnit(Node):
+    items: list[Node] = field(default_factory=list)
+    types: TypeTable = field(default_factory=TypeTable)
+
+    def functions(self) -> list[FunctionDef]:
+        return [x for x in self.items if isinstance(x, FunctionDef)]
+
+    def function(self, name: str) -> FunctionDef:
+        for f in self.functions():
+            if f.name == name and f.body is not None:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,27 @@
+"""Front-end error types."""
+
+from __future__ import annotations
+
+__all__ = ["FrontendError", "LexError", "ParseError", "TypeError_"]
+
+
+class FrontendError(Exception):
+    """Base class for mini-CUDA front-end failures."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        where = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(FrontendError):
+    """Tokenizer failure."""
+
+
+class ParseError(FrontendError):
+    """Parser failure."""
+
+
+class TypeError_(FrontendError):
+    """Type-model failure (unknown struct, bad field, ...)."""

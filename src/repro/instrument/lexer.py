@@ -1,0 +1,159 @@
+"""Tokenizer for the mini-CUDA C subset.
+
+Handles C and C++ comments, string/char literals, integer and floating
+literals, the CUDA ``<<<``/``>>>`` launch brackets, and preprocessor
+lines: ``#pragma`` lines become :data:`~.tokens.TokenKind.PRAGMA` tokens
+(the transform interprets ``#pragma xpl``), any other directive becomes a
+:data:`~.tokens.TokenKind.DIRECTIVE` token that the unparser passes
+through verbatim (``#include`` etc.).
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .tokens import KEYWORDS, MULTI_PUNCT, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_SINGLE_PUNCT = frozenset("+-*/%=<>!&|^~?:;,.(){}[]#")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(source)
+    line, col = 1, 1
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    def at_line_start() -> bool:
+        j = i - 1
+        while j >= 0 and source[j] in " \t":
+            j -= 1
+        return j < 0 or source[j] == "\n"
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance()
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance()
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # preprocessor
+        if c == "#" and at_line_start():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j] != "\n":
+                if source[j] == "\\" and j + 1 < n and source[j + 1] == "\n":
+                    j += 2
+                    continue
+                j += 1
+            text = source[i:j]
+            kind = (TokenKind.PRAGMA if text.lstrip("# \t").startswith("pragma")
+                    else TokenKind.DIRECTIVE)
+            tokens.append(Token(kind, text.strip(), start_line, start_col))
+            advance(j - i)
+            continue
+        # identifiers / keywords
+        if c in _IDENT_START:
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j] in _IDENT_CONT:
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+        # numbers
+        if c in _DIGITS or (c == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            start_line, start_col = line, col
+            j = i
+            is_float = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j] in _DIGITS:
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j] in _DIGITS:
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j] in _DIGITS:
+                        j += 1
+            while j < n and source[j] in "uUlLfF":
+                if source[j] in "fF":
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.FLOAT if is_float else TokenKind.INT,
+                                text, start_line, start_col))
+            advance(j - i)
+            continue
+        # string / char literals
+        if c in "\"'":
+            start_line, start_col = line, col
+            quote = c
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError("unterminated literal", start_line, start_col)
+            text = source[i:j + 1]
+            kind = TokenKind.STRING if quote == '"' else TokenKind.CHAR
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        # punctuation
+        matched = False
+        for p in MULTI_PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token(TokenKind.PUNCT, p, line, col))
+                advance(len(p))
+                matched = True
+                break
+        if matched:
+            continue
+        if c in _SINGLE_PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, c, line, col))
+            advance()
+            continue
+        raise LexError(f"unexpected character {c!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

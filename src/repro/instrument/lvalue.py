@@ -1,0 +1,80 @@
+"""L-value classification and heap-effect analysis (paper §III-B).
+
+XPlacer instruments "any memory read and write that *possibly* affects
+memory allocated on the heap": dereferences, indexing through pointers,
+and arrow member accesses.  It elides instrumentation when the access
+cannot touch the heap -- plain (non-reference) variables, stack arrays,
+dot-members of stack structs -- and when the l-value's location is not
+accessed immediately (address-of, ``sizeof``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from . import ast_nodes as A
+from .typesys import Array, CType, Pointer
+
+__all__ = ["AccessMode", "is_heap_lvalue", "Scope"]
+
+
+class AccessMode(enum.Enum):
+    """How an expression's value/location is used by its context."""
+
+    READ = "read"    # r-value context -> traceR on heap l-values
+    WRITE = "write"  # assignment target -> traceW
+    RMW = "rmw"      # ++/--/compound assignment -> traceRW
+    NONE = "none"    # location not accessed (address-of, sizeof)
+
+
+class Scope:
+    """Lexically scoped symbol table: variable name -> declared type."""
+
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self.vars: dict[str, CType] = {}
+
+    def child(self) -> "Scope":
+        return Scope(self)
+
+    def declare(self, name: str, ctype: CType) -> None:
+        self.vars[name] = ctype
+
+    def lookup(self, name: str) -> CType | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+def _base_may_be_heap(expr: A.Expr, scope: Scope) -> bool:
+    """Whether ``expr`` (used as a pointer/aggregate base) can point at heap."""
+    if isinstance(expr, A.Ident):
+        ctype = scope.lookup(expr.name)
+        if isinstance(ctype, Array):
+            return False  # a stack array decays to a non-heap pointer
+        # Pointers and unknown identifiers may reference heap memory.
+        return True
+    if isinstance(expr, A.Unary) and expr.op == "&":
+        return _base_may_be_heap(_strip(expr.operand), scope) and \
+            is_heap_lvalue(expr.operand, scope)
+    return True
+
+
+def _strip(expr: A.Expr) -> A.Expr:
+    return expr
+
+
+def is_heap_lvalue(expr: A.Expr, scope: Scope) -> bool:
+    """Whether ``expr`` is an l-value that may designate heap memory."""
+    if isinstance(expr, A.Unary) and expr.op == "*":
+        return True
+    if isinstance(expr, A.Index):
+        return _base_may_be_heap(expr.base, scope)
+    if isinstance(expr, A.Member):
+        if expr.arrow:
+            return _base_may_be_heap(expr.base, scope)
+        return is_heap_lvalue(expr.base, scope)  # (*p).f, a[i].f, ...
+    return False

@@ -1,0 +1,545 @@
+"""Recursive-descent parser for the mini-CUDA C subset.
+
+Supports what the paper's examples and benchmarks need: struct
+definitions, global/local declarations, functions with CUDA qualifiers,
+kernel launches (``f<<<grid, block>>>(args)``), ``new``/``delete``, the
+full C expression grammar with precedence, and ``#pragma`` / other
+preprocessor lines carried through as statements.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+from .errors import ParseError
+from .tokens import CUDA_QUALIFIERS, TYPE_KEYWORDS, Token, TokenKind
+from .typesys import Array, CType, Pointer, StructType, TypeTable
+
+__all__ = ["Parser", "parse"]
+
+#: Binary operator precedence (higher binds tighter).
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+def parse(source_or_tokens) -> A.TranslationUnit:
+    """Parse source text (or a token list) into a translation unit."""
+    if isinstance(source_or_tokens, str):
+        from .lexer import tokenize
+        tokens = tokenize(source_or_tokens)
+    else:
+        tokens = source_or_tokens
+    return Parser(tokens).parse_unit()
+
+
+class Parser:
+    """One-pass recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.types = TypeTable()
+        self._typedef_names: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def expect_punct(self, text: str) -> Token:
+        if not self.cur.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {self.cur.text!r}",
+                             self.cur.line, self.cur.col)
+        return self.next()
+
+    def accept_punct(self, text: str) -> bool:
+        if self.cur.is_punct(text):
+            self.next()
+            return True
+        return False
+
+    def expect_ident(self) -> Token:
+        if self.cur.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {self.cur.text!r}",
+                             self.cur.line, self.cur.col)
+        return self.next()
+
+    # ------------------------------------------------------------------ #
+    # types
+
+    def _starts_type(self, tok: Token | None = None) -> bool:
+        tok = tok or self.cur
+        if tok.is_keyword(*TYPE_KEYWORDS) or tok.is_keyword("struct", "const"):
+            return True
+        return (tok.kind is TokenKind.IDENT and tok.text in self._typedef_names)
+
+    def parse_type(self) -> CType:
+        """Parse a type specifier plus pointer declarators."""
+        while self.cur.is_keyword("const", "static", "extern"):
+            self.next()
+        if self.cur.is_keyword("struct"):
+            self.next()
+            name = self.expect_ident().text
+            base: CType = self.types.struct(name, declare=True)
+        elif self.cur.kind is TokenKind.IDENT and self.cur.text in self._typedef_names:
+            base = self.types.typedef(self.next().text)
+        else:
+            words = []
+            while self.cur.is_keyword(*TYPE_KEYWORDS):
+                words.append(self.next().text)
+            if not words:
+                raise ParseError(f"expected type, found {self.cur.text!r}",
+                                 self.cur.line, self.cur.col)
+            base = self._primitive_from(words)
+        while True:
+            while self.cur.is_keyword("const"):
+                self.next()
+            if self.accept_punct("*"):
+                base = Pointer(base)
+            else:
+                break
+        return base
+
+    def _primitive_from(self, words: list[str]) -> CType:
+        joined = " ".join(words)
+        mapping = {
+            "void": "void", "bool": "bool", "char": "char",
+            "short": "short", "int": "int", "float": "float",
+            "double": "double", "size_t": "size_t", "long": "long",
+            "long long": "long", "long int": "long",
+            "unsigned": "unsigned int", "unsigned int": "unsigned int",
+            "unsigned char": "char", "unsigned long": "size_t",
+            "unsigned long long": "size_t", "signed int": "int",
+            "signed": "int", "cudaError_t": "cudaError_t",
+            "unsigned short": "short", "signed char": "char",
+            "long double": "double",
+        }
+        if joined not in mapping:
+            raise ParseError(f"unsupported type {joined!r}",
+                             self.cur.line, self.cur.col)
+        return self.types.primitive(mapping[joined])
+
+    # ------------------------------------------------------------------ #
+    # top level
+
+    def parse_unit(self) -> A.TranslationUnit:
+        unit = A.TranslationUnit(types=self.types)
+        while self.cur.kind is not TokenKind.EOF:
+            unit.items.append(self.parse_top_level())
+        return unit
+
+    def parse_top_level(self) -> A.Node:
+        tok = self.cur
+        if tok.kind is TokenKind.PRAGMA:
+            self.next()
+            return A.Pragma(tok.text)
+        if tok.kind is TokenKind.DIRECTIVE:
+            self.next()
+            return A.Directive(tok.text)
+        if tok.is_keyword("typedef"):
+            return self._parse_typedef()
+        if tok.is_keyword("struct") and self.peek(2).is_punct("{"):
+            return self._parse_struct_def()
+        return self._parse_function_or_global()
+
+    def _parse_typedef(self) -> A.Node:
+        self.next()  # typedef
+        base = self.parse_type()
+        name = self.expect_ident().text
+        self.expect_punct(";")
+        self.types.add_typedef(name, base)
+        self._typedef_names.add(name)
+        return A.Directive(f"typedef {base.spell()} {name};")
+
+    def _parse_struct_def(self) -> A.StructDef:
+        self.next()  # struct
+        name = self.expect_ident().text
+        struct = self.types.struct(name, declare=True)
+        self.expect_punct("{")
+        members: list[tuple[str, CType]] = []
+        while not self.cur.is_punct("}"):
+            base = self.parse_type()
+            while True:
+                mtype = base
+                while self.accept_punct("*"):
+                    mtype = Pointer(mtype)
+                mname = self.expect_ident().text
+                if self.accept_punct("["):
+                    length = int(self.next().text, 0)
+                    self.expect_punct("]")
+                    mtype = Array(mtype, length)
+                members.append((mname, mtype))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(";")
+        self.expect_punct("}")
+        self.expect_punct(";")
+        struct.lay_out(members)
+        return A.StructDef(struct)
+
+    def _parse_function_or_global(self) -> A.Node:
+        qualifiers = set()
+        while self.cur.is_keyword(*CUDA_QUALIFIERS) or \
+                self.cur.is_keyword("static", "extern"):
+            qualifiers.add(self.next().text)
+        base = self.parse_type()
+        name = self.expect_ident().text
+        if self.cur.is_punct("("):
+            return self._parse_function(base, name, frozenset(qualifiers))
+        decls = self._finish_decl_list(base, name)
+        return A.DeclStmt(decls)
+
+    def _parse_function(self, rtype: CType, name: str,
+                        qualifiers: frozenset[str]) -> A.FunctionDef:
+        self.expect_punct("(")
+        params: list[A.Param] = []
+        variadic = False
+        if not self.cur.is_punct(")"):
+            while True:
+                if self.cur.is_punct("..."):
+                    self.next()
+                    variadic = True
+                    break
+                ptype = self.parse_type()
+                pname = ""
+                if self.cur.kind is TokenKind.IDENT:
+                    pname = self.next().text
+                if self.accept_punct("["):
+                    # decays to pointer
+                    if not self.cur.is_punct("]"):
+                        self.next()
+                    self.expect_punct("]")
+                    ptype = Pointer(ptype)
+                params.append(A.Param(pname, ptype))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        body = None
+        if self.cur.is_punct("{"):
+            body = self.parse_block()
+        else:
+            self.expect_punct(";")
+        return A.FunctionDef(name, rtype, params, body, qualifiers, variadic)
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def parse_block(self) -> A.Block:
+        self.expect_punct("{")
+        block = A.Block()
+        while not self.cur.is_punct("}"):
+            block.stmts.append(self.parse_statement())
+        self.expect_punct("}")
+        return block
+
+    def parse_statement(self) -> A.Stmt:
+        tok = self.cur
+        if tok.kind is TokenKind.PRAGMA:
+            self.next()
+            return A.Pragma(tok.text)
+        if tok.kind is TokenKind.DIRECTIVE:
+            self.next()
+            return A.Directive(tok.text)
+        if tok.is_punct("{"):
+            return self.parse_block()
+        if tok.is_punct(";"):
+            self.next()
+            return A.Block()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("while"):
+            return self._parse_while()
+        if tok.is_keyword("do"):
+            return self._parse_do_while()
+        if tok.is_keyword("for"):
+            return self._parse_for()
+        if tok.is_keyword("return"):
+            self.next()
+            value = None if self.cur.is_punct(";") else self.parse_expression()
+            self.expect_punct(";")
+            return A.Return(value)
+        if tok.is_keyword("break"):
+            self.next()
+            self.expect_punct(";")
+            return A.Break()
+        if tok.is_keyword("continue"):
+            self.next()
+            self.expect_punct(";")
+            return A.Continue()
+        if self._starts_decl():
+            stmt = self._parse_decl_stmt()
+            self.expect_punct(";")
+            return stmt
+        expr = self.parse_expression()
+        self.expect_punct(";")
+        return A.ExprStmt(expr)
+
+    def _starts_decl(self) -> bool:
+        if not self._starts_type():
+            return False
+        # A type keyword always starts a declaration in statement context;
+        # a typedef/struct identifier does only if followed by a declarator.
+        if self.cur.kind is TokenKind.IDENT:
+            nxt = self.peek()
+            return nxt.is_punct("*") or nxt.kind is TokenKind.IDENT
+        return True
+
+    def _parse_decl_stmt(self) -> A.DeclStmt:
+        base = self.parse_type()
+        name = self.expect_ident().text
+        return A.DeclStmt(self._finish_decl_list(base, name, expect_semi=False))
+
+    def _finish_decl_list(self, first_type: CType, first_name: str,
+                          *, expect_semi: bool = True) -> list[A.VarDecl]:
+        # ``first_type`` already includes the leading pointers of the first
+        # declarator; later declarators re-apply '*' to the base type.
+        base = first_type
+        while isinstance(base, Pointer):
+            base = base.target
+        decls: list[A.VarDecl] = []
+
+        def finish_one(ctype: CType, name: str) -> A.VarDecl:
+            if self.accept_punct("["):
+                length = int(self.next().text, 0)
+                self.expect_punct("]")
+                ctype = Array(ctype, length)
+            init = None
+            if self.accept_punct("="):
+                init = self.parse_assignment()
+            return A.VarDecl(name, ctype, init)
+
+        decls.append(finish_one(first_type, first_name))
+        while self.accept_punct(","):
+            ctype: CType = base
+            while self.accept_punct("*"):
+                ctype = Pointer(ctype)
+            name = self.expect_ident().text
+            decls.append(finish_one(ctype, name))
+        if expect_semi:
+            self.expect_punct(";")
+        return decls
+
+    def _parse_if(self) -> A.If:
+        self.next()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        other = None
+        if self.cur.is_keyword("else"):
+            self.next()
+            other = self.parse_statement()
+        return A.If(cond, then, other)
+
+    def _parse_while(self) -> A.While:
+        self.next()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        return A.While(cond, self.parse_statement())
+
+    def _parse_do_while(self) -> A.DoWhile:
+        self.next()
+        body = self.parse_statement()
+        if not self.cur.is_keyword("while"):
+            raise ParseError("expected 'while' after do-body",
+                             self.cur.line, self.cur.col)
+        self.next()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return A.DoWhile(body, cond)
+
+    def _parse_for(self) -> A.For:
+        self.next()
+        self.expect_punct("(")
+        init: A.Stmt | None = None
+        if not self.cur.is_punct(";"):
+            if self._starts_decl():
+                init = self._parse_decl_stmt()
+            else:
+                init = A.ExprStmt(self.parse_expression())
+        self.expect_punct(";")
+        cond = None if self.cur.is_punct(";") else self.parse_expression()
+        self.expect_punct(";")
+        step = None if self.cur.is_punct(")") else self.parse_expression()
+        self.expect_punct(")")
+        return A.For(init, cond, step, self.parse_statement())
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def parse_expression(self) -> A.Expr:
+        expr = self.parse_assignment()
+        while self.accept_punct(","):
+            right = self.parse_assignment()
+            expr = A.Binary(",", expr, right)
+        return expr
+
+    def parse_assignment(self) -> A.Expr:
+        left = self._parse_ternary()
+        if self.cur.kind is TokenKind.PUNCT and self.cur.text in _ASSIGN_OPS:
+            op = self.next().text
+            right = self.parse_assignment()
+            return A.Assign(op, left, right)
+        return left
+
+    def _parse_ternary(self) -> A.Expr:
+        cond = self._parse_binary(1)
+        if self.accept_punct("?"):
+            then = self.parse_assignment()
+            self.expect_punct(":")
+            other = self.parse_assignment()
+            return A.Ternary(cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> A.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.cur
+            if tok.kind is not TokenKind.PUNCT:
+                break
+            prec = _BINARY_PREC.get(tok.text)
+            if prec is None or prec < min_prec:
+                break
+            op = self.next().text
+            right = self._parse_binary(prec + 1)
+            left = A.Binary(op, left, right)
+        return left
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.PUNCT and tok.text in ("!", "~", "-", "+", "*", "&"):
+            self.next()
+            return A.Unary(tok.text, self._parse_unary())
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self.next()
+            return A.Unary(tok.text, self._parse_unary(), prefix=True)
+        if tok.is_keyword("sizeof"):
+            self.next()
+            if self.cur.is_punct("(") and self._starts_type(self.peek()):
+                self.expect_punct("(")
+                ctype = self.parse_type()
+                self.expect_punct(")")
+                return A.SizeofType(ctype)
+            return A.SizeofExpr(self._parse_unary())
+        if tok.is_keyword("new"):
+            self.next()
+            ctype = self.parse_type()
+            count = init = None
+            if self.accept_punct("["):
+                count = self.parse_expression()
+                self.expect_punct("]")
+            elif self.accept_punct("("):
+                if not self.cur.is_punct(")"):
+                    init = self.parse_assignment()
+                self.expect_punct(")")
+            return A.NewExpr(ctype, count, init)
+        if tok.is_keyword("delete"):
+            self.next()
+            if self.accept_punct("["):
+                self.expect_punct("]")
+            return A.Unary("delete", self._parse_unary())
+        if tok.is_punct("(") and self._starts_type(self.peek()):
+            self.expect_punct("(")
+            ctype = self.parse_type()
+            self.expect_punct(")")
+            return A.Cast(ctype, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.cur.is_punct("<<<"):
+                expr = self._parse_kernel_launch(expr)
+            elif self.accept_punct("("):
+                args = []
+                if not self.cur.is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = A.Call(expr, args)
+            elif self.accept_punct("["):
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = A.Index(expr, index)
+            elif self.accept_punct("."):
+                expr = A.Member(expr, self.expect_ident().text, arrow=False)
+            elif self.accept_punct("->"):
+                expr = A.Member(expr, self.expect_ident().text, arrow=True)
+            elif self.cur.is_punct("++") or self.cur.is_punct("--"):
+                op = self.next().text
+                expr = A.Unary(op, expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_kernel_launch(self, kernel: A.Expr) -> A.KernelLaunch:
+        self.expect_punct("<<<")
+        grid = self.parse_assignment()
+        self.expect_punct(",")
+        block = self.parse_assignment()
+        shmem = stream = None
+        if self.accept_punct(","):
+            shmem = self.parse_assignment()
+            if self.accept_punct(","):
+                stream = self.parse_assignment()
+        self.expect_punct(">>>")
+        self.expect_punct("(")
+        args = []
+        if not self.cur.is_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return A.KernelLaunch(kernel, grid, block, shmem, stream, args)
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.INT:
+            self.next()
+            return A.IntLit(tok.text)
+        if tok.kind is TokenKind.FLOAT:
+            self.next()
+            return A.FloatLit(tok.text)
+        if tok.kind is TokenKind.CHAR:
+            self.next()
+            return A.CharLit(tok.text)
+        if tok.kind is TokenKind.STRING:
+            self.next()
+            return A.StringLit(tok.text)
+        if tok.is_keyword("true") or tok.is_keyword("false"):
+            self.next()
+            return A.BoolLit(tok.text == "true")
+        if tok.is_keyword("NULL") or tok.is_keyword("nullptr"):
+            self.next()
+            return A.NullLit(tok.text)
+        if tok.kind is TokenKind.IDENT:
+            self.next()
+            return A.Ident(tok.text)
+        if tok.is_punct("("):
+            self.next()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)

@@ -1,0 +1,68 @@
+"""``#pragma xpl`` parsing (paper Table I).
+
+Two pragma forms drive the instrumentation:
+
+* ``#pragma xpl replace <funcname>`` -- the next function *declaration*
+  names the tracing replacement for ``funcname``; the special name
+  ``kernel-launch`` replaces every ``<<<>>>`` launch;
+* ``#pragma xpl diagnostic fn(verbatim...; p, q)`` -- insert a call to
+  ``fn`` with the verbatim arguments followed by recursively expanded
+  ``XplAllocData`` records for the listed pointer variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ParseError
+
+__all__ = ["XplReplace", "XplDiagnostic", "parse_xpl_pragma"]
+
+
+@dataclass(frozen=True)
+class XplReplace:
+    """``#pragma xpl replace <target>``."""
+
+    target: str  # function name or 'kernel-launch'
+
+
+@dataclass(frozen=True)
+class XplDiagnostic:
+    """``#pragma xpl diagnostic fn(verbatim; expanded)``."""
+
+    function: str
+    verbatim: tuple[str, ...] = ()
+    expanded: tuple[str, ...] = ()
+
+
+def parse_xpl_pragma(text: str) -> XplReplace | XplDiagnostic | None:
+    """Parse a ``#pragma`` line; returns ``None`` for non-xpl pragmas."""
+    body = text.lstrip("#").strip()
+    if not body.startswith("pragma"):
+        raise ParseError(f"not a pragma line: {text!r}")
+    body = body[len("pragma"):].strip()
+    if not body.startswith("xpl"):
+        return None
+    body = body[len("xpl"):].strip()
+    if body.startswith("replace"):
+        target = body[len("replace"):].strip()
+        if not target or " " in target:
+            raise ParseError(f"malformed xpl replace pragma: {text!r}")
+        return XplReplace(target)
+    if body.startswith("diagnostic"):
+        rest = body[len("diagnostic"):].strip().rstrip("\\").strip()
+        open_paren = rest.find("(")
+        if open_paren < 0 or not rest.endswith(")"):
+            raise ParseError(f"malformed xpl diagnostic pragma: {text!r}")
+        fn = rest[:open_paren].strip()
+        inner = rest[open_paren + 1:-1]
+        if ";" in inner:
+            verbatim_part, expanded_part = inner.split(";", 1)
+        else:
+            verbatim_part, expanded_part = inner, ""
+        verbatim = tuple(a.strip() for a in verbatim_part.split(",") if a.strip())
+        expanded = tuple(a.strip() for a in expanded_part.split(",") if a.strip())
+        if not fn:
+            raise ParseError(f"xpl diagnostic needs a function name: {text!r}")
+        return XplDiagnostic(fn, verbatim, expanded)
+    raise ParseError(f"unknown xpl pragma: {text!r}")

@@ -1,0 +1,66 @@
+"""Token definitions for the mini-CUDA C front end."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS", "TYPE_KEYWORDS", "CUDA_QUALIFIERS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    PRAGMA = "pragma"      # one whole `#pragma ...` line
+    DIRECTIVE = "directive"  # other preprocessor lines (passed through)
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in texts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+#: Base type keywords of the supported C subset.
+TYPE_KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "unsigned", "signed",
+    "float", "double", "size_t", "bool", "cudaError_t",
+})
+
+#: CUDA function-qualifier keywords.
+CUDA_QUALIFIERS = frozenset({"__global__", "__device__", "__host__", "__shared__"})
+
+KEYWORDS = frozenset({
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "struct", "sizeof", "const", "static", "extern", "typedef",
+    "true", "false", "NULL", "nullptr", "new", "delete", "template", "class",
+}) | TYPE_KEYWORDS | CUDA_QUALIFIERS
+
+#: Multi-character punctuation, longest first (order matters for the lexer).
+MULTI_PUNCT = (
+    "<<<", ">>>",
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+)

@@ -1,0 +1,281 @@
+"""The instrumentation pass (the paper's ROSE-plugin logic, §III-B).
+
+Rewrites a parsed translation unit so that
+
+* every heap-affecting l-value read becomes ``traceR(lv)``, every write
+  ``traceW(lv) = ...``, every read-modify-write ``traceRW(lv)`` (with the
+  elisions the paper lists: plain variables, stack arrays/structs,
+  address-of and ``sizeof`` operands);
+* calls to functions named in ``#pragma xpl replace`` pragmas are
+  redirected to their tracing replacements; the special target
+  ``kernel-launch`` rewrites ``k<<<g, b>>>(args)`` into
+  ``trcLaunch(g, b, shmem, stream, k, args...)``;
+* every ``#pragma xpl diagnostic fn(verbatim; p, q)`` becomes a call to
+  ``fn`` whose pointer arguments are recursively expanded into
+  ``XplAllocData(expr, "expr", sizeof(*expr))`` records, stopping on
+  type repetition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from . import ast_nodes as A
+from .errors import TypeError_
+from .lvalue import AccessMode, Scope, is_heap_lvalue
+from .pragmas import XplDiagnostic, XplReplace, parse_xpl_pragma
+from .typesys import Pointer, StructType
+
+__all__ = ["InstrumentationResult", "instrument", "TRACE_FNS"]
+
+#: Names of the three memory tracing functions (paper Table I).
+TRACE_FNS = {
+    AccessMode.READ: "traceR",
+    AccessMode.WRITE: "traceW",
+    AccessMode.RMW: "traceRW",
+}
+
+
+@dataclass
+class InstrumentationResult:
+    """The instrumented unit plus a summary of what was done."""
+
+    unit: A.TranslationUnit
+    replacements: dict[str, str] = field(default_factory=dict)
+    wrapped: Counter = field(default_factory=Counter)
+    diagnostics_inserted: int = 0
+
+
+def instrument(unit: A.TranslationUnit) -> InstrumentationResult:
+    """Instrument ``unit`` in place (returns it wrapped in a result)."""
+    result = InstrumentationResult(unit=unit)
+    _collect_replacements(unit, result)
+    globals_scope = Scope()
+    for item in unit.items:
+        if isinstance(item, A.DeclStmt):
+            for d in item.decls:
+                globals_scope.declare(d.name, d.ctype)
+    walker = _Walker(unit, result, globals_scope)
+    for item in unit.items:
+        if isinstance(item, A.FunctionDef) and item.body is not None:
+            scope = globals_scope.child()
+            for p in item.params:
+                scope.declare(p.name, p.ctype)
+            item.body = walker.stmt(item.body, scope)
+    return result
+
+
+def _collect_replacements(unit: A.TranslationUnit,
+                          result: InstrumentationResult) -> None:
+    pending: str | None = None
+    for item in unit.items:
+        if isinstance(item, A.Pragma):
+            parsed = parse_xpl_pragma(item.text)
+            if isinstance(parsed, XplReplace):
+                pending = parsed.target
+            continue
+        if pending is not None:
+            if isinstance(item, A.FunctionDef):
+                result.replacements[pending] = item.name
+                pending = None
+            else:
+                raise TypeError_(
+                    f"#pragma xpl replace {pending} must be followed by a "
+                    f"function declaration"
+                )
+
+
+class _Walker:
+    """Statement/expression rewriter with scope tracking."""
+
+    def __init__(self, unit: A.TranslationUnit,
+                 result: InstrumentationResult, globals_scope: Scope) -> None:
+        self.unit = unit
+        self.result = result
+        self.globals = globals_scope
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def stmt(self, s: A.Stmt, scope: Scope) -> A.Stmt:
+        if isinstance(s, A.Block):
+            inner = scope.child()
+            s.stmts = [self.stmt(x, inner) for x in s.stmts]
+            return s
+        if isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                if d.init is not None:
+                    d.init = self.expr(d.init, AccessMode.READ, scope)
+                scope.declare(d.name, d.ctype)
+            return s
+        if isinstance(s, A.ExprStmt):
+            s.expr = self.expr(s.expr, AccessMode.READ, scope)
+            return s
+        if isinstance(s, A.If):
+            s.cond = self.expr(s.cond, AccessMode.READ, scope)
+            s.then = self.stmt(s.then, scope)
+            if s.other is not None:
+                s.other = self.stmt(s.other, scope)
+            return s
+        if isinstance(s, A.While):
+            s.cond = self.expr(s.cond, AccessMode.READ, scope)
+            s.body = self.stmt(s.body, scope)
+            return s
+        if isinstance(s, A.DoWhile):
+            s.body = self.stmt(s.body, scope)
+            s.cond = self.expr(s.cond, AccessMode.READ, scope)
+            return s
+        if isinstance(s, A.For):
+            inner = scope.child()
+            if s.init is not None:
+                s.init = self.stmt(s.init, inner)
+            if s.cond is not None:
+                s.cond = self.expr(s.cond, AccessMode.READ, inner)
+            if s.step is not None:
+                s.step = self.expr(s.step, AccessMode.READ, inner)
+            s.body = self.stmt(s.body, inner)
+            return s
+        if isinstance(s, A.Return):
+            if s.value is not None:
+                s.value = self.expr(s.value, AccessMode.READ, scope)
+            return s
+        if isinstance(s, A.Pragma):
+            parsed = None
+            try:
+                parsed = parse_xpl_pragma(s.text)
+            except Exception:
+                return s
+            if isinstance(parsed, XplDiagnostic):
+                return self._expand_diagnostic(parsed, scope)
+            return s
+        return s
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def expr(self, e: A.Expr, mode: AccessMode, scope: Scope) -> A.Expr:
+        R = AccessMode.READ
+        if isinstance(e, (A.IntLit, A.FloatLit, A.CharLit, A.StringLit,
+                          A.BoolLit, A.NullLit, A.Ident, A.Raw,
+                          A.SizeofType)):
+            return e  # never wrapped; sizeof types carry no accesses
+        if isinstance(e, A.SizeofExpr):
+            return e  # paper: sizeof operand is elided entirely
+        if isinstance(e, A.Unary):
+            if e.op == "&":
+                e.operand = self.expr(e.operand, AccessMode.NONE, scope)
+                return e
+            if e.op in ("++", "--"):
+                e.operand = self.expr(e.operand, AccessMode.RMW, scope)
+                return e
+            if e.op == "*":
+                e.operand = self.expr(e.operand, R, scope)
+                return self._wrap(e, mode, scope)
+            e.operand = self.expr(e.operand, R, scope)
+            return e
+        if isinstance(e, A.Binary):
+            e.left = self.expr(e.left, R, scope)
+            e.right = self.expr(e.right, R, scope)
+            return e
+        if isinstance(e, A.Assign):
+            e.value = self.expr(e.value, R, scope)
+            target_mode = AccessMode.WRITE if e.op == "=" else AccessMode.RMW
+            e.target = self.expr(e.target, target_mode, scope)
+            return e
+        if isinstance(e, A.Ternary):
+            e.cond = self.expr(e.cond, R, scope)
+            e.then = self.expr(e.then, mode, scope)
+            e.other = self.expr(e.other, mode, scope)
+            return e
+        if isinstance(e, A.Call):
+            if isinstance(e.callee, A.Ident):
+                repl = self.result.replacements.get(e.callee.name)
+                if repl is not None:
+                    e.callee = A.Ident(repl)
+            e.args = [self.expr(a, R, scope) for a in e.args]
+            return e
+        if isinstance(e, A.Member):
+            e.base = self.expr(e.base, R if e.arrow else AccessMode.NONE, scope)
+            return self._wrap(e, mode, scope)
+        if isinstance(e, A.Index):
+            e.base = self.expr(e.base, R, scope)
+            e.index = self.expr(e.index, R, scope)
+            return self._wrap(e, mode, scope)
+        if isinstance(e, A.Cast):
+            e.operand = self.expr(e.operand, R, scope)
+            return e
+        if isinstance(e, A.KernelLaunch):
+            e.grid = self.expr(e.grid, R, scope)
+            e.block = self.expr(e.block, R, scope)
+            if e.shmem is not None:
+                e.shmem = self.expr(e.shmem, R, scope)
+            if e.stream is not None:
+                e.stream = self.expr(e.stream, R, scope)
+            e.args = [self.expr(a, R, scope) for a in e.args]
+            repl = self.result.replacements.get("kernel-launch")
+            if repl is not None:
+                return A.Call(A.Ident(repl), [
+                    e.grid, e.block,
+                    e.shmem or A.IntLit("0"), e.stream or A.IntLit("0"),
+                    e.kernel, *e.args,
+                ])
+            return e
+        if isinstance(e, A.NewExpr):
+            if e.count is not None:
+                e.count = self.expr(e.count, R, scope)
+            if e.init is not None:
+                e.init = self.expr(e.init, R, scope)
+            repl = self.result.replacements.get("new")
+            if repl is not None:
+                size: A.Expr = A.SizeofType(e.ctype)
+                if e.count is not None:
+                    size = A.Binary("*", e.count, size)
+                return A.Cast(Pointer(e.ctype), A.Call(A.Ident(repl), [size]))
+            return e
+        return e
+
+    def _wrap(self, e: A.Expr, mode: AccessMode, scope: Scope) -> A.Expr:
+        if mode is AccessMode.NONE or not is_heap_lvalue(e, scope):
+            return e
+        fn = TRACE_FNS[mode]
+        self.result.wrapped[fn] += 1
+        return A.Call(A.Ident(fn), [e])
+
+    # ------------------------------------------------------------------ #
+    # diagnostic expansion
+
+    def _expand_diagnostic(self, pragma: XplDiagnostic, scope: Scope) -> A.Stmt:
+        args: list[A.Expr] = [A.Raw(v) for v in pragma.verbatim]
+        for var in pragma.expanded:
+            ctype = scope.lookup(var)
+            if ctype is None:
+                raise TypeError_(
+                    f"diagnostic argument {var!r} is not a variable in scope")
+            if not isinstance(ctype, Pointer):
+                raise TypeError_(
+                    f"diagnostic argument {var!r} must have pointer type, "
+                    f"got {ctype.spell()}")
+            args.extend(self._expand_pointer(A.Ident(var), var, ctype.target,
+                                             seen=set()))
+        self.result.diagnostics_inserted += 1
+        return A.ExprStmt(A.Call(A.Ident(pragma.function), args))
+
+    def _expand_pointer(self, expr: A.Expr, name: str, target,
+                        seen: set[str]) -> list[A.Expr]:
+        record = A.Call(A.Ident("XplAllocData"), [
+            expr,
+            A.StringLit(f"\"{name}\""),
+            A.SizeofExpr(A.Unary("*", expr)),
+        ])
+        out = [record]
+        if isinstance(target, StructType):
+            if target.name in seen:
+                return out  # type repetition: stop (linked-list guard)
+            seen.add(target.name)
+            for f in self.unit.types.pointer_members(target):
+                member = A.Member(expr, f.name, arrow=True)
+                out.extend(self._expand_pointer(
+                    member, f"{name}->{f.name}", f.type.target, seen))
+            seen.discard(target.name)
+        return out

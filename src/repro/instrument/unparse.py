@@ -1,0 +1,247 @@
+"""Unparser: AST back to compilable mini-CUDA source.
+
+The ROSE pipeline's final step -- the instrumented tree is converted back
+to source text, which golden tests compare and the interpreter executes.
+"""
+
+from __future__ import annotations
+
+import io
+
+from . import ast_nodes as A
+from .typesys import Array, CType, Pointer, StructType
+
+__all__ = ["unparse", "unparse_expr"]
+
+_PREC = {
+    ",": 0, "=": 1,
+    "?:": 2, "||": 3, "&&": 4, "|": 5, "^": 6, "&": 7,
+    "==": 8, "!=": 8, "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10, "+": 11, "-": 11, "*": 12, "/": 12, "%": 12,
+    "unary": 13, "postfix": 14, "primary": 15,
+}
+
+
+def _decl_str(ctype: CType, name: str) -> str:
+    """Spell a declaration of ``name`` with type ``ctype``."""
+    if isinstance(ctype, Array):
+        return f"{_decl_str(ctype.element, name)}[{ctype.length}]"
+    if isinstance(ctype, Pointer):
+        return _decl_str(ctype.target, f"*{name}")
+    return f"{ctype.spell()} {name}".strip()
+
+
+def unparse_expr(e: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing only where needed."""
+    text, prec = _expr(e)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(e: A.Expr) -> tuple[str, int]:
+    P = _PREC
+    if isinstance(e, (A.IntLit, A.FloatLit, A.CharLit, A.StringLit)):
+        return e.text, P["primary"]
+    if isinstance(e, A.BoolLit):
+        return ("true" if e.value else "false"), P["primary"]
+    if isinstance(e, A.NullLit):
+        return e.spelling, P["primary"]
+    if isinstance(e, A.Ident):
+        return e.name, P["primary"]
+    if isinstance(e, A.Raw):
+        return e.text, P["primary"]
+    if isinstance(e, A.Unary):
+        if e.op == "delete":
+            return f"delete {unparse_expr(e.operand, P['unary'])}", P["unary"]
+        if e.prefix:
+            inner = unparse_expr(e.operand, P["unary"])
+            if e.op in ("-", "+", "&", "*") and inner.startswith(e.op):
+                inner = f" {inner}"  # avoid fusing into --, ++, && or **
+            return f"{e.op}{inner}", P["unary"]
+        return f"{unparse_expr(e.operand, P['postfix'])}{e.op}", P["postfix"]
+    if isinstance(e, A.Binary):
+        prec = P[e.op] if e.op != "," else 0
+        left = unparse_expr(e.left, prec)
+        right = unparse_expr(e.right, prec + 1)
+        sep = ", " if e.op == "," else f" {e.op} "
+        return f"{left}{sep}{right}", prec
+    if isinstance(e, A.Assign):
+        target = unparse_expr(e.target, P["unary"])
+        value = unparse_expr(e.value, P["="])
+        return f"{target} {e.op} {value}", P["="]
+    if isinstance(e, A.Ternary):
+        return (f"{unparse_expr(e.cond, P['?:'] + 1)} ? "
+                f"{unparse_expr(e.then)} : {unparse_expr(e.other)}", P["?:"])
+    if isinstance(e, A.Call):
+        callee = unparse_expr(e.callee, P["postfix"])
+        args = ", ".join(unparse_expr(a, 1) for a in e.args)
+        return f"{callee}({args})", P["postfix"]
+    if isinstance(e, A.Member):
+        op = "->" if e.arrow else "."
+        return f"{unparse_expr(e.base, P['postfix'])}{op}{e.name}", P["postfix"]
+    if isinstance(e, A.Index):
+        return (f"{unparse_expr(e.base, P['postfix'])}"
+                f"[{unparse_expr(e.index)}]", P["postfix"])
+    if isinstance(e, A.Cast):
+        return f"({e.ctype.spell()}){unparse_expr(e.operand, P['unary'])}", P["unary"]
+    if isinstance(e, A.SizeofType):
+        return f"sizeof({e.ctype.spell()})", P["primary"]
+    if isinstance(e, A.SizeofExpr):
+        return f"sizeof({unparse_expr(e.operand)})", P["primary"]
+    if isinstance(e, A.KernelLaunch):
+        cfg = [unparse_expr(e.grid), unparse_expr(e.block)]
+        if e.shmem is not None:
+            cfg.append(unparse_expr(e.shmem))
+        if e.stream is not None:
+            cfg.append(unparse_expr(e.stream))
+        args = ", ".join(unparse_expr(a, 1) for a in e.args)
+        kern = unparse_expr(e.kernel, _PREC["postfix"])
+        return f"{kern}<<<{', '.join(cfg)}>>>({args})", P["postfix"]
+    if isinstance(e, A.NewExpr):
+        base = f"new {e.ctype.spell()}"
+        if e.count is not None:
+            return f"{base}[{unparse_expr(e.count)}]", P["unary"]
+        if e.init is not None:
+            return f"{base}({unparse_expr(e.init)})", P["unary"]
+        return base, P["unary"]
+    raise TypeError(f"cannot unparse {type(e).__name__}")
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.out = io.StringIO()
+        self.indent = 0
+
+    def line(self, text: str = "") -> None:
+        self.out.write("    " * self.indent + text + "\n" if text
+                       else "\n")
+
+
+def unparse(unit: A.TranslationUnit) -> str:
+    """Render a whole translation unit."""
+    w = _Writer()
+    for item in unit.items:
+        _item(w, item)
+    return w.out.getvalue()
+
+
+def _item(w: _Writer, item: A.Node) -> None:
+    if isinstance(item, (A.Pragma, A.Directive)):
+        w.line(item.text)
+        return
+    if isinstance(item, A.StructDef):
+        w.line(f"struct {item.struct.name} {{")
+        w.indent += 1
+        for f in item.struct.fields:
+            w.line(f"{_decl_str(f.type, f.name)};")
+        w.indent -= 1
+        w.line("};")
+        return
+    if isinstance(item, A.DeclStmt):
+        _stmt(w, item)
+        return
+    if isinstance(item, A.FunctionDef):
+        quals = " ".join(sorted(item.qualifiers))
+        params = ", ".join(_decl_str(p.ctype, p.name) for p in item.params)
+        if item.variadic:
+            params = f"{params}, ..." if params else "..."
+        head = f"{_decl_str(item.return_type, item.name)}({params})"
+        if quals:
+            head = f"{quals} {head}"
+        if item.body is None:
+            w.line(f"{head};")
+        else:
+            w.line(f"{head} {{")
+            w.indent += 1
+            for s in item.body.stmts:
+                _stmt(w, s)
+            w.indent -= 1
+            w.line("}")
+        w.line("")
+        return
+    raise TypeError(f"cannot unparse item {type(item).__name__}")
+
+
+def _stmt(w: _Writer, s: A.Stmt) -> None:
+    if isinstance(s, A.Block):
+        w.line("{")
+        w.indent += 1
+        for x in s.stmts:
+            _stmt(w, x)
+        w.indent -= 1
+        w.line("}")
+        return
+    if isinstance(s, A.DeclStmt):
+        parts = []
+        for d in s.decls:
+            text = _decl_str(d.ctype, d.name)
+            if d.init is not None:
+                text += f" = {unparse_expr(d.init, 1)}"
+            parts.append(text)
+        # Multi-declarator lines are split for clarity.
+        for p in parts:
+            w.line(f"{p};")
+        return
+    if isinstance(s, A.ExprStmt):
+        w.line(f"{unparse_expr(s.expr)};")
+        return
+    if isinstance(s, A.If):
+        w.line(f"if ({unparse_expr(s.cond)})")
+        _substmt(w, s.then)
+        if s.other is not None:
+            w.line("else")
+            _substmt(w, s.other)
+        return
+    if isinstance(s, A.While):
+        w.line(f"while ({unparse_expr(s.cond)})")
+        _substmt(w, s.body)
+        return
+    if isinstance(s, A.DoWhile):
+        w.line("do")
+        _substmt(w, s.body)
+        w.line(f"while ({unparse_expr(s.cond)});")
+        return
+    if isinstance(s, A.For):
+        init = ""
+        if isinstance(s.init, A.DeclStmt):
+            d = s.init.decls[0]
+            init = _decl_str(d.ctype, d.name)
+            if d.init is not None:
+                init += f" = {unparse_expr(d.init, 1)}"
+            for extra in s.init.decls[1:]:
+                init += f", {extra.name}"
+                if extra.init is not None:
+                    init += f" = {unparse_expr(extra.init, 1)}"
+        elif isinstance(s.init, A.ExprStmt):
+            init = unparse_expr(s.init.expr)
+        cond = unparse_expr(s.cond) if s.cond is not None else ""
+        step = unparse_expr(s.step) if s.step is not None else ""
+        w.line(f"for ({init}; {cond}; {step})")
+        _substmt(w, s.body)
+        return
+    if isinstance(s, A.Return):
+        if s.value is None:
+            w.line("return;")
+        else:
+            w.line(f"return {unparse_expr(s.value)};")
+        return
+    if isinstance(s, A.Break):
+        w.line("break;")
+        return
+    if isinstance(s, A.Continue):
+        w.line("continue;")
+        return
+    if isinstance(s, (A.Pragma, A.Directive)):
+        w.line(s.text)
+        return
+    raise TypeError(f"cannot unparse statement {type(s).__name__}")
+
+
+def _substmt(w: _Writer, s: A.Stmt) -> None:
+    if isinstance(s, A.Block):
+        _stmt(w, s)
+    else:
+        w.indent += 1
+        _stmt(w, s)
+        w.indent -= 1

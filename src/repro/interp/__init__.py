@@ -1,0 +1,12 @@
+"""Executor for (instrumented) mini-CUDA programs.
+
+Closes the paper's Fig 1 loop: ROSE-equivalent instrumentation
+(:mod:`repro.instrument`) produces source whose tracing calls this
+interpreter binds to the XPlacer runtime library and the simulated CUDA
+runtime.
+"""
+
+from .interpreter import Interpreter, run_program
+from .values import InterpError, LValue
+
+__all__ = ["Interpreter", "run_program", "InterpError", "LValue"]

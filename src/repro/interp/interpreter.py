@@ -1,0 +1,661 @@
+"""Tree-walking interpreter for (instrumented) mini-CUDA programs.
+
+Executes a parsed translation unit against the simulated CUDA runtime and
+the XPlacer tracer -- the stand-in for "compile with the backend compiler,
+link the runtime library, run on the target system" (paper Fig 1).
+
+Key properties:
+
+* every variable is memory-backed (host stack allocations), so addresses
+  flowing through ``traceR``/``traceW``/``traceRW`` are real simulated
+  addresses the shadow memory table can resolve;
+* ``cudaMallocManaged``/``cudaMalloc``/``new`` allocate through the
+  simulated runtime; the ``trc*`` wrapper builtins additionally register
+  shadow memory, exactly like the paper's replacement functions;
+* kernel launches execute the kernel body once per thread on the GPU
+  context (``blockIdx``/``threadIdx``/``blockDim``/``gridDim`` resolve as
+  builtins), so device-side traces classify as GPU accesses.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any
+
+from ..cudart import CudaRuntime, DevicePtr, cudaMemcpyKind, cudaMemoryAdvise
+from ..instrument import ast_nodes as A
+from ..instrument.transform import TRACE_FNS
+from ..instrument.typesys import Array, CType, Pointer, Primitive, StructType
+from ..memsim import MemoryKind, Platform, intel_pascal
+from ..runtime import Tracer, XplAllocData, trace_print
+from .values import (
+    BreakSignal,
+    ContinueSignal,
+    InterpError,
+    LValue,
+    ReturnSignal,
+    load,
+    store,
+)
+
+__all__ = ["Interpreter", "run_program"]
+
+_TRACE_NAMES = set(TRACE_FNS.values())
+
+_MEMCPY_KINDS = {
+    0: cudaMemcpyKind.cudaMemcpyHostToHost,
+    1: cudaMemcpyKind.cudaMemcpyHostToDevice,
+    2: cudaMemcpyKind.cudaMemcpyDeviceToHost,
+    3: cudaMemcpyKind.cudaMemcpyDeviceToDevice,
+    4: cudaMemcpyKind.cudaMemcpyDefault,
+}
+
+#: Names accepted as advice constants in interpreted source.
+_ADVICE_NAMES = {a.name: a for a in cudaMemoryAdvise}
+
+
+class _Env:
+    """Lexical environment mapping names to typed memory cells."""
+
+    def __init__(self, parent: "_Env | None" = None) -> None:
+        self.parent = parent
+        self.cells: dict[str, LValue] = {}
+
+    def child(self) -> "_Env":
+        return _Env(self)
+
+    def declare(self, name: str, lv: LValue) -> None:
+        self.cells[name] = lv
+
+    def lookup(self, name: str) -> LValue | None:
+        env: _Env | None = self
+        while env is not None:
+            if name in env.cells:
+                return env.cells[name]
+            env = env.parent
+        return None
+
+
+class Interpreter:
+    """Executes one translation unit."""
+
+    def __init__(
+        self,
+        unit: A.TranslationUnit,
+        *,
+        platform: Platform | None = None,
+        tracer: Tracer | None = None,
+        out: io.TextIOBase | None = None,
+    ) -> None:
+        self.unit = unit
+        self.platform = platform or intel_pascal()
+        self.runtime = CudaRuntime(self.platform, materialize=True)
+        # The tracer is NOT attached as a runtime observer here: in the
+        # mini-CUDA pipeline only the instrumented calls trace, exactly as
+        # in the paper's compiled workflow.  It is *bound* for processor
+        # context so device-side traces classify as GPU accesses.
+        self.tracer = (tracer or Tracer()).bind(self.runtime)
+        self.out = out or io.StringIO()
+        self.functions = {f.name: f for f in unit.functions()}
+        self.globals = _Env()
+        self._thread: dict[str, int] = {}
+        self._init_globals()
+
+    # ------------------------------------------------------------------ #
+    # setup / entry
+
+    def _init_globals(self) -> None:
+        for item in self.unit.items:
+            if isinstance(item, A.DeclStmt):
+                for d in item.decls:
+                    lv = self._alloc_local(d.name, d.ctype)
+                    self.globals.declare(d.name, lv)
+                    if d.init is not None:
+                        value, _ = self.eval(d.init, self.globals)
+                        store(self.platform.address_space, lv, value)
+
+    def run(self, entry: str = "main", args: list[Any] | None = None) -> Any:
+        """Execute ``entry``; returns its return value."""
+        return self.call_function(entry, args or [])
+
+    @property
+    def stdout(self) -> str:
+        """Captured ``printf``/diagnostic output (StringIO sinks only)."""
+        if isinstance(self.out, io.StringIO):
+            return self.out.getvalue()
+        raise InterpError("stdout capture needs a StringIO sink")
+
+    # ------------------------------------------------------------------ #
+    # functions
+
+    def call_function(self, name: str, args: list[Any]) -> Any:
+        fn = self.functions.get(name)
+        if fn is None or fn.body is None:
+            return self._call_builtin(name, args, raw_args=None, env=None)
+        env = self.globals.child()
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"{name} expects {len(fn.params)} arguments, got {len(args)}")
+        for param, value in zip(fn.params, args):
+            lv = self._alloc_local(param.name, param.ctype)
+            store(self.platform.address_space, lv, value)
+            env.declare(param.name, lv)
+        try:
+            self.exec_stmt(fn.body, env)
+        except ReturnSignal as r:
+            return r.value
+        return None
+
+    def _alloc_local(self, name: str, ctype: CType) -> LValue:
+        size = max(1, ctype.size)
+        alloc = self.platform.address_space.allocate(
+            size, MemoryKind.HOST, label=f"stack:{name}")
+        return LValue(alloc.base, ctype)
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def exec_stmt(self, s: A.Stmt, env: _Env) -> None:
+        if isinstance(s, A.Block):
+            inner = env.child()
+            for x in s.stmts:
+                self.exec_stmt(x, inner)
+            return
+        if isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                lv = self._alloc_local(d.name, d.ctype)
+                env.declare(d.name, lv)
+                if d.init is not None:
+                    value, _ = self.eval(d.init, env)
+                    if not isinstance(d.ctype, (StructType, Array)):
+                        store(self.platform.address_space, lv, value)
+            return
+        if isinstance(s, A.ExprStmt):
+            self.eval(s.expr, env)
+            return
+        if isinstance(s, A.If):
+            cond, _ = self.eval(s.cond, env)
+            if cond:
+                self.exec_stmt(s.then, env)
+            elif s.other is not None:
+                self.exec_stmt(s.other, env)
+            return
+        if isinstance(s, A.While):
+            while self.eval(s.cond, env)[0]:
+                try:
+                    self.exec_stmt(s.body, env)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    continue
+            return
+        if isinstance(s, A.DoWhile):
+            while True:
+                try:
+                    self.exec_stmt(s.body, env)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                if not self.eval(s.cond, env)[0]:
+                    break
+            return
+        if isinstance(s, A.For):
+            inner = env.child()
+            if s.init is not None:
+                self.exec_stmt(s.init, inner)
+            while s.cond is None or self.eval(s.cond, inner)[0]:
+                try:
+                    self.exec_stmt(s.body, inner)
+                except BreakSignal:
+                    break
+                except ContinueSignal:
+                    pass
+                if s.step is not None:
+                    self.eval(s.step, inner)
+            return
+        if isinstance(s, A.Return):
+            value = self.eval(s.value, env)[0] if s.value is not None else None
+            raise ReturnSignal(value)
+        if isinstance(s, A.Break):
+            raise BreakSignal()
+        if isinstance(s, A.Continue):
+            raise ContinueSignal()
+        if isinstance(s, (A.Pragma, A.Directive)):
+            return  # passed through; no runtime effect
+        raise InterpError(f"cannot execute {type(s).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def eval(self, e: A.Expr, env: _Env) -> tuple[Any, CType | None]:
+        space = self.platform.address_space
+        if isinstance(e, A.IntLit):
+            return e.value, None
+        if isinstance(e, A.FloatLit):
+            return e.value, None
+        if isinstance(e, A.BoolLit):
+            return int(e.value), None
+        if isinstance(e, A.NullLit):
+            return 0, None
+        if isinstance(e, A.CharLit):
+            body = e.text[1:-1].encode().decode("unicode_escape")
+            return ord(body), None
+        if isinstance(e, A.StringLit):
+            return e.text[1:-1], None
+        if isinstance(e, A.Raw):
+            return e.text, None
+        if isinstance(e, A.Ident):
+            special = self._thread_builtin(e.name)
+            if special is not None:
+                return special, None
+            lv = env.lookup(e.name)
+            if lv is None:
+                if e.name in self.functions:
+                    return self.functions[e.name], None
+                raise InterpError(f"undefined identifier {e.name!r}")
+            if isinstance(lv.ctype, Array):
+                return lv.addr, Pointer(lv.ctype.element)  # decay
+            if isinstance(lv.ctype, StructType):
+                return lv.addr, lv.ctype  # struct value = its address here
+            return load(space, lv), lv.ctype
+        if isinstance(e, A.Member) and isinstance(e.base, A.Ident) \
+                and not e.arrow and e.base.name in (
+                    "threadIdx", "blockIdx", "blockDim", "gridDim"):
+            value = self._thread_builtin(f"{e.base.name}_{e.name}")
+            if value is None:
+                raise InterpError(f"{e.base.name}.{e.name} used outside a kernel")
+            return value, None
+        if isinstance(e, A.Unary):
+            return self._eval_unary(e, env)
+        if isinstance(e, A.Binary):
+            return self._eval_binary(e, env)
+        if isinstance(e, A.Assign):
+            return self._eval_assign(e, env)
+        if isinstance(e, A.Ternary):
+            cond, _ = self.eval(e.cond, env)
+            return self.eval(e.then if cond else e.other, env)
+        if isinstance(e, A.Call):
+            return self._eval_call(e, env)
+        if isinstance(e, (A.Member, A.Index)):
+            lv = self.lvalue(e, env)
+            if isinstance(lv.ctype, (StructType, Array)):
+                return lv.addr, lv.ctype
+            return load(space, lv), lv.ctype
+        if isinstance(e, A.Cast):
+            value, _ = self.eval(e.operand, env)
+            if isinstance(e.ctype, Pointer):
+                return int(value), e.ctype
+            if isinstance(e.ctype, Primitive) and not e.ctype.is_float:
+                return int(value), e.ctype
+            return float(value), e.ctype
+        if isinstance(e, A.SizeofType):
+            return e.ctype.size, None
+        if isinstance(e, A.SizeofExpr):
+            _, ctype = self._type_of(e.operand, env)
+            if ctype is None:
+                raise InterpError("cannot compute sizeof of untyped expression")
+            return ctype.size, None
+        if isinstance(e, A.KernelLaunch):
+            self._launch(e, env)
+            return None, None
+        if isinstance(e, A.NewExpr):
+            return self._eval_new(e, env)
+        raise InterpError(f"cannot evaluate {type(e).__name__}")
+
+    # -- lvalues -------------------------------------------------------- #
+
+    def lvalue(self, e: A.Expr, env: _Env) -> LValue:
+        """Resolve an expression to a typed memory location."""
+        if isinstance(e, A.Ident):
+            lv = env.lookup(e.name)
+            if lv is None:
+                raise InterpError(f"undefined identifier {e.name!r}")
+            return lv
+        if isinstance(e, A.Unary) and e.op == "*":
+            addr, ctype = self.eval(e.operand, env)
+            target = ctype.target if isinstance(ctype, Pointer) else None
+            if target is None:
+                raise InterpError("dereference of non-pointer value")
+            return LValue(int(addr), target)
+        if isinstance(e, A.Index):
+            base, ctype = self.eval(e.base, env)
+            idx, _ = self.eval(e.index, env)
+            if not isinstance(ctype, Pointer):
+                raise InterpError("indexing a non-pointer value")
+            return LValue(int(base) + int(idx) * ctype.target.size, ctype.target)
+        if isinstance(e, A.Member):
+            if e.arrow:
+                base, ctype = self.eval(e.base, env)
+                if not isinstance(ctype, Pointer) or \
+                        not isinstance(ctype.target, StructType):
+                    raise InterpError("'->' on a non-struct-pointer value")
+                struct = ctype.target
+                base_addr = int(base)
+            else:
+                base_lv = self.lvalue(e.base, env)
+                if not isinstance(base_lv.ctype, StructType):
+                    raise InterpError("'.' on a non-struct value")
+                struct = base_lv.ctype
+                base_addr = base_lv.addr
+            f = struct.field_named(e.name)
+            return LValue(base_addr + f.offset, f.type)
+        if isinstance(e, A.Call) and isinstance(e.callee, A.Ident) \
+                and e.callee.name in _TRACE_NAMES:
+            return self._trace_lvalue(e.callee.name, e.args[0], env)
+        if isinstance(e, A.Cast):
+            return self.lvalue(e.operand, env)
+        raise InterpError(f"not an l-value: {type(e).__name__}")
+
+    def _trace_lvalue(self, fn: str, inner: A.Expr, env: _Env) -> LValue:
+        lv = self.lvalue(inner, env)
+        size = max(1, lv.ctype.size)
+        getattr(self.tracer, fn)(lv.addr, size)
+        return lv
+
+    # -- operators ------------------------------------------------------ #
+
+    def _eval_unary(self, e: A.Unary, env: _Env) -> tuple[Any, CType | None]:
+        space = self.platform.address_space
+        if e.op == "&":
+            lv = self.lvalue(e.operand, env)
+            return lv.addr, Pointer(lv.ctype)
+        if e.op == "*":
+            lv = self.lvalue(e, env)
+            if isinstance(lv.ctype, (StructType, Array)):
+                return lv.addr, lv.ctype
+            return load(space, lv), lv.ctype
+        if e.op in ("++", "--"):
+            lv = self.lvalue(e.operand, env)
+            old = load(space, lv)
+            step = lv.ctype.target.size if isinstance(lv.ctype, Pointer) else 1
+            new = old + step if e.op == "++" else old - step
+            store(space, lv, new)
+            return (new if e.prefix else old), lv.ctype
+        if e.op == "delete":
+            addr, _ = self.eval(e.operand, env)
+            self._free_addr(int(addr))
+            return None, None
+        value, ctype = self.eval(e.operand, env)
+        if e.op == "-":
+            return -value, ctype
+        if e.op == "+":
+            return value, ctype
+        if e.op == "!":
+            return int(not value), None
+        if e.op == "~":
+            return ~int(value), ctype
+        raise InterpError(f"unsupported unary operator {e.op!r}")
+
+    def _eval_binary(self, e: A.Binary, env: _Env) -> tuple[Any, CType | None]:
+        if e.op == ",":
+            self.eval(e.left, env)
+            return self.eval(e.right, env)
+        if e.op == "&&":
+            left, _ = self.eval(e.left, env)
+            if not left:
+                return 0, None
+            return int(bool(self.eval(e.right, env)[0])), None
+        if e.op == "||":
+            left, _ = self.eval(e.left, env)
+            if left:
+                return 1, None
+            return int(bool(self.eval(e.right, env)[0])), None
+        left, lt = self.eval(e.left, env)
+        right, rt = self.eval(e.right, env)
+        # pointer arithmetic
+        if isinstance(lt, Pointer) and e.op in ("+", "-") and not isinstance(rt, Pointer):
+            scale = lt.target.size
+            return (left + right * scale if e.op == "+"
+                    else left - right * scale), lt
+        if isinstance(rt, Pointer) and e.op == "+":
+            return right + left * rt.target.size, rt
+        if isinstance(lt, Pointer) and isinstance(rt, Pointer) and e.op == "-":
+            return (left - right) // lt.target.size, None
+        ops = {
+            "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: _cdiv(a, b),
+            "%": lambda a, b: _cmod(a, b),
+            "==": lambda a, b: int(a == b), "!=": lambda a, b: int(a != b),
+            "<": lambda a, b: int(a < b), ">": lambda a, b: int(a > b),
+            "<=": lambda a, b: int(a <= b), ">=": lambda a, b: int(a >= b),
+            "&": lambda a, b: int(a) & int(b), "|": lambda a, b: int(a) | int(b),
+            "^": lambda a, b: int(a) ^ int(b),
+            "<<": lambda a, b: int(a) << int(b), ">>": lambda a, b: int(a) >> int(b),
+        }
+        if e.op not in ops:
+            raise InterpError(f"unsupported binary operator {e.op!r}")
+        return ops[e.op](left, right), (lt if isinstance(lt, Pointer) else lt or rt)
+
+    def _eval_assign(self, e: A.Assign, env: _Env) -> tuple[Any, CType | None]:
+        space = self.platform.address_space
+        value, _ = self.eval(e.value, env)
+        lv = self.lvalue(e.target, env)
+        if e.op == "=":
+            new = value
+        else:
+            old = load(space, lv)
+            op = e.op[:-1]
+            if isinstance(lv.ctype, Pointer) and op in ("+", "-"):
+                value = value * lv.ctype.target.size
+            new = {
+                "+": lambda: old + value, "-": lambda: old - value,
+                "*": lambda: old * value,
+                "/": lambda: _cdiv(old, value), "%": lambda: _cmod(old, value),
+                "&": lambda: int(old) & int(value),
+                "|": lambda: int(old) | int(value),
+                "^": lambda: int(old) ^ int(value),
+                "<<": lambda: int(old) << int(value),
+                ">>": lambda: int(old) >> int(value),
+            }[op]()
+        store(space, lv, new)
+        return new, lv.ctype
+
+    def _eval_new(self, e: A.NewExpr, env: _Env) -> tuple[Any, CType]:
+        count = 1
+        if e.count is not None:
+            count = int(self.eval(e.count, env)[0])
+        nbytes = max(1, e.ctype.size * count)
+        ptr = self.runtime.host_malloc(nbytes, label="new")
+        self.tracer.trc_register(ptr.alloc)  # heap memory is traced
+        if e.init is not None:
+            value, _ = self.eval(e.init, env)
+            store(self.platform.address_space, LValue(ptr.addr, e.ctype), value)
+        return ptr.addr, Pointer(e.ctype)
+
+    # -- calls ---------------------------------------------------------- #
+
+    def _eval_call(self, e: A.Call, env: _Env) -> tuple[Any, CType | None]:
+        if not isinstance(e.callee, A.Ident):
+            raise InterpError("only direct calls are supported")
+        name = e.callee.name
+        if name in _TRACE_NAMES:
+            lv = self._trace_lvalue(name, e.args[0], env)
+            if isinstance(lv.ctype, (StructType, Array)):
+                return lv.addr, lv.ctype
+            return load(self.platform.address_space, lv), lv.ctype
+        if name == "XplAllocData":
+            return self._make_alloc_data(e, env), None
+        fn = self.functions.get(name)
+        if fn is not None and fn.body is not None:
+            args = [self.eval(a, env)[0] for a in e.args]
+            return self.call_function(name, args), fn.return_type
+        args = [self.eval(a, env)[0] for a in e.args]
+        return self._call_builtin(name, args, raw_args=e.args, env=env), None
+
+    def _make_alloc_data(self, e: A.Call, env: _Env) -> XplAllocData:
+        addr, _ = self.eval(e.args[0], env)
+        name = self.eval(e.args[1], env)[0]
+        size = int(self.eval(e.args[2], env)[0])
+        alloc = self.platform.address_space.find(int(addr))
+        return XplAllocData(int(addr), str(name), size, alloc)
+
+    def _thread_builtin(self, name: str) -> int | None:
+        return self._thread.get(name)
+
+    # -- kernels --------------------------------------------------------- #
+
+    def _launch(self, e: A.KernelLaunch, env: _Env,
+                traced_name: str | None = None) -> None:
+        grid = int(self.eval(e.grid, env)[0])
+        block = int(self.eval(e.block, env)[0])
+        kernel = e.kernel
+        if not isinstance(kernel, A.Ident):
+            raise InterpError("kernel launch needs a direct kernel name")
+        fn = self.functions.get(kernel.name)
+        if fn is None or fn.body is None:
+            raise InterpError(f"undefined kernel {kernel.name!r}")
+        args = [self.eval(a, env)[0] for a in e.args]
+        self._run_kernel(fn, grid, block, args)
+
+    def _run_kernel(self, fn: A.FunctionDef, grid: int, block: int,
+                    args: list[Any]) -> None:
+        def body(ctx) -> None:
+            for b in range(grid):
+                for t in range(block):
+                    self._thread = {
+                        "blockIdx_x": b, "threadIdx_x": t,
+                        "blockDim_x": block, "gridDim_x": grid,
+                    }
+                    try:
+                        self.call_function(fn.name, list(args))
+                    finally:
+                        self._thread = {}
+
+        self.runtime.launch(body, grid, block, name=fn.name,
+                            work=grid * block)
+
+    # -- builtins --------------------------------------------------------- #
+
+    def _call_builtin(self, name: str, args: list[Any],
+                      raw_args, env) -> Any:
+        rt = self.runtime
+        space = self.platform.address_space
+
+        if name in ("cudaMallocManaged", "trcMallocManaged"):
+            out_ptr, size = int(args[0]), int(args[1])
+            ptr = rt.malloc_managed(size, label=self._label_for(raw_args, env))
+            store(space, LValue(out_ptr, Pointer(Primitive("size_t", 8))), ptr.addr)
+            if name.startswith("trc"):
+                self.tracer.trc_register(ptr.alloc)
+            return 0
+        if name in ("cudaMalloc", "trcMalloc"):
+            out_ptr, size = int(args[0]), int(args[1])
+            ptr = rt.malloc(size, label=self._label_for(raw_args, env))
+            store(space, LValue(out_ptr, Pointer(Primitive("size_t", 8))), ptr.addr)
+            if name.startswith("trc"):
+                self.tracer.trc_register(ptr.alloc)
+            return 0
+        if name in ("cudaFree", "trcFree", "free"):
+            self._free_addr(int(args[0]), trace=name.startswith("trc"))
+            return 0
+        if name == "malloc":
+            ptr = rt.host_malloc(int(args[0]), label="malloc")
+            self.tracer.trc_register(ptr.alloc)
+            return ptr.addr
+        if name in ("cudaMemcpy", "trcMemcpy"):
+            dst, src, nbytes = int(args[0]), int(args[1]), int(args[2])
+            kind = _MEMCPY_KINDS[int(args[3])] if len(args) > 3 \
+                else cudaMemcpyKind.cudaMemcpyDefault
+            observers = rt.observers
+            if name == "trcMemcpy" and self.tracer not in observers:
+                rt.subscribe(self.tracer)
+                rt.memcpy(self._as_ptr(dst), self._as_ptr(src), nbytes, kind)
+                rt.unsubscribe(self.tracer)
+            else:
+                rt.memcpy(self._as_ptr(dst), self._as_ptr(src), nbytes, kind)
+            return 0
+        if name == "cudaMemAdvise":
+            ptr, nbytes, advice, device = args
+            advice_enum = (_ADVICE_NAMES[advice] if isinstance(advice, str)
+                           else list(cudaMemoryAdvise)[int(advice) - 1])
+            rt.mem_advise(self._as_ptr(int(ptr)), int(nbytes),
+                          advice_enum, int(device))
+            return 0
+        if name == "cudaDeviceSynchronize":
+            rt.device_synchronize()
+            return 0
+        if name in ("tracePrint", "trcPrn"):
+            descriptors = [a for a in args if isinstance(a, XplAllocData)]
+            trace_print(self.tracer, descriptors, self.out)
+            return 0
+        if name == "traceKernelLaunch":
+            grid, block = int(args[0]), int(args[1])
+            kernel = args[4]
+            if not isinstance(kernel, A.FunctionDef):
+                raise InterpError("traceKernelLaunch needs a kernel function")
+            self.tracer.on_kernel_launch(kernel.name, grid, block)
+            self._run_kernel(kernel, grid, block, list(args[5:]))
+            return 0
+        if name == "printf":
+            fmt = str(args[0]).replace("\\n", "\n").replace("\\t", "\t")
+            fmt = fmt.replace("%d", "{}").replace("%f", "{}").replace("%s", "{}")
+            fmt = fmt.replace("%lu", "{}").replace("%g", "{}").replace("%p", "{:#x}")
+            self.out.write(fmt.format(*args[1:]))
+            return 0
+        raise InterpError(f"unknown function {name!r}")
+
+    def _label_for(self, raw_args, env) -> str:
+        # Label managed allocations by the pointer expression, e.g.
+        # cudaMallocManaged((void**)&a, ...) -> "a".
+        if not raw_args:
+            return "managed"
+        arg = raw_args[0]
+        while isinstance(arg, (A.Cast,)):
+            arg = arg.operand
+        if isinstance(arg, A.Unary) and arg.op == "&":
+            inner = arg.operand
+            from ..instrument.unparse import unparse_expr
+            return unparse_expr(inner)
+        return "managed"
+
+    def _as_ptr(self, addr: int) -> DevicePtr:
+        alloc = self.platform.address_space.find(addr)
+        if alloc is None:
+            raise InterpError(f"memcpy with invalid address {addr:#x}")
+        return DevicePtr(self.runtime, alloc, addr - alloc.base)
+
+    def _free_addr(self, addr: int, *, trace: bool = False) -> None:
+        alloc = self.platform.address_space.find(addr)
+        if alloc is None or alloc.base != addr:
+            raise InterpError(f"free of invalid address {addr:#x}")
+        if trace:
+            self.tracer.trc_free(alloc)
+        else:
+            self.tracer.smt.remove(addr, self.tracer.epoch)
+        self.runtime.free(DevicePtr(self.runtime, alloc, 0))
+
+    # -- typing helper ---------------------------------------------------- #
+
+    def _type_of(self, e: A.Expr, env: _Env) -> tuple[Any, CType | None]:
+        try:
+            return self.eval(e, env)
+        except InterpError:
+            return None, None
+
+
+def _cdiv(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _cmod(a, b):
+    return a - _cdiv(a, b) * b
+
+
+def run_program(source: str, *, instrumented: bool = True,
+                platform: Platform | None = None,
+                entry: str = "main") -> Interpreter:
+    """Parse (+instrument) and execute ``source``; returns the interpreter
+    for inspection of tracer state and captured output."""
+    from ..instrument import instrument as _instrument, parse
+
+    unit = parse(source)
+    if instrumented:
+        _instrument(unit)
+    interp = Interpreter(unit, platform=platform)
+    interp.run(entry)
+    return interp

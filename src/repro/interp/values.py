@@ -1,0 +1,103 @@
+"""Value model and memory access helpers for the mini-CUDA interpreter.
+
+Every variable lives in simulated memory (host stack allocations for
+locals, the CUDA allocators for heap), so *addresses are real*: the
+tracing functions inserted by the instrumenter receive the same addresses
+the shadow memory table indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..instrument.typesys import Array, CType, Pointer, Primitive, StructType
+from ..memsim import AddressSpace, Allocation
+
+__all__ = [
+    "LValue", "numpy_dtype", "load", "store",
+    "ReturnSignal", "BreakSignal", "ContinueSignal", "InterpError",
+]
+
+
+class InterpError(RuntimeError):
+    """A runtime failure of the interpreted program."""
+
+
+class ReturnSignal(Exception):
+    """Unwinds a function body on ``return``."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class BreakSignal(Exception):
+    """Unwinds a loop body on ``break``."""
+
+
+class ContinueSignal(Exception):
+    """Unwinds a loop body on ``continue``."""
+
+
+@dataclass(frozen=True)
+class LValue:
+    """A typed memory location."""
+
+    addr: int
+    ctype: CType
+
+
+def numpy_dtype(ctype: CType) -> np.dtype:
+    """The numpy dtype used to access a value of ``ctype`` in memory."""
+    if isinstance(ctype, Pointer):
+        return np.dtype(np.uint64)
+    if isinstance(ctype, Primitive):
+        table = {
+            "char": np.int8, "bool": np.uint8, "short": np.int16,
+            "int": np.int32, "unsigned int": np.uint32,
+            "long": np.int64, "size_t": np.uint64,
+            "float": np.float32, "double": np.float64,
+        }
+        if ctype.name in table:
+            return np.dtype(table[ctype.name])
+    raise InterpError(f"cannot access value of type {ctype.spell()}")
+
+
+def load(space: AddressSpace, lv: LValue) -> Any:
+    """Read the value at ``lv`` from simulated memory."""
+    alloc = _find(space, lv.addr)
+    dt = numpy_dtype(lv.ctype)
+    off = lv.addr - alloc.base
+    raw = alloc.view(dt, offset=off, count=1)[0]
+    if dt.kind in "iu":
+        return int(raw)
+    return float(raw)
+
+
+def store(space: AddressSpace, lv: LValue, value: Any) -> None:
+    """Write ``value`` at ``lv`` in simulated memory."""
+    alloc = _find(space, lv.addr)
+    dt = numpy_dtype(lv.ctype)
+    off = lv.addr - alloc.base
+    view = alloc.view(dt, offset=off, count=1)
+    if dt.kind in "iu":
+        # C-style wraparound on overflow.
+        view[0] = np.array(int(value), dtype=np.int64).astype(dt)
+    else:
+        view[0] = value
+
+
+def _find(space: AddressSpace, addr: int) -> Allocation:
+    alloc = space.find(addr)
+    if alloc is None:
+        raise InterpError(f"dereference of invalid address {addr:#x}")
+    if not alloc.materialized:
+        raise InterpError("interpreted programs need materialized memory")
+    return alloc
+
+
+def sizeof(ctype: CType) -> int:
+    """``sizeof`` for the interpreter (arrays and structs included)."""
+    return ctype.size

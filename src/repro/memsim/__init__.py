@@ -1,0 +1,56 @@
+"""Simulated heterogeneous CPU/GPU node (the paper's hardware substrate).
+
+Public surface:
+
+* :class:`~repro.memsim.devices.Processor`, :class:`~repro.memsim.devices.DeviceSpec`
+* :class:`~repro.memsim.address_space.AddressSpace`, :class:`~repro.memsim.address_space.Allocation`, :data:`~repro.memsim.address_space.PAGE_SIZE`
+* :class:`~repro.memsim.unified_memory.UnifiedMemoryDriver` and :class:`~repro.memsim.unified_memory.UMCostParams`
+* :class:`~repro.memsim.platform.Platform` plus the three paper-testbed presets
+* :class:`~repro.memsim.events.EventLog` / :class:`~repro.memsim.events.EventKind`
+"""
+
+from .address_space import PAGE_SIZE, AddressSpace, Allocation, MemoryKind
+from .clock import SimClock, Stream
+from .devices import (
+    CPU_DEVICE_ID,
+    GPU_DEVICE_ID,
+    DeviceSpec,
+    Processor,
+    processor_from_device_id,
+)
+from .events import Event, EventKind, EventLog
+from .interconnect import Link, nvlink2, pcie3
+from .pages import NO_PREFERENCE, PageState, contiguous_runs
+from .platform import PLATFORMS, Platform, intel_pascal, intel_volta, power9_volta
+from .unified_memory import AccessOutcome, UMCostParams, UnifiedMemoryDriver
+
+__all__ = [
+    "PAGE_SIZE",
+    "AddressSpace",
+    "Allocation",
+    "MemoryKind",
+    "SimClock",
+    "Stream",
+    "CPU_DEVICE_ID",
+    "GPU_DEVICE_ID",
+    "DeviceSpec",
+    "Processor",
+    "processor_from_device_id",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "Link",
+    "nvlink2",
+    "pcie3",
+    "NO_PREFERENCE",
+    "PageState",
+    "contiguous_runs",
+    "PLATFORMS",
+    "Platform",
+    "intel_pascal",
+    "intel_volta",
+    "power9_volta",
+    "AccessOutcome",
+    "UMCostParams",
+    "UnifiedMemoryDriver",
+]

@@ -1,0 +1,77 @@
+"""Simulated time.
+
+The simulator keeps a single logical timeline (:class:`SimClock`) plus
+lightweight :class:`Stream` objects for modelling asynchronous overlap
+(``cudaMemcpyAsync`` on one stream while a kernel runs on another).  A
+stream is just a "ready time": scheduling work on it advances that stream's
+ready time, and synchronisation points fold stream ready times back into
+the global clock with ``max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock", "Stream"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t`` (no-op if in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self) -> None:
+        """Rewind to t=0 (used between independent experiment runs)."""
+        self._now = 0.0
+
+
+@dataclass
+class Stream:
+    """An asynchronous work queue with its own completion horizon.
+
+    ``ready`` is the simulated time at which all work enqueued so far has
+    completed.  New work on the stream starts no earlier than both the
+    stream's own horizon and the issuing clock's ``now`` (host code cannot
+    enqueue work before it reaches the enqueue point).
+    """
+
+    clock: SimClock
+    name: str = "stream"
+    ready: float = field(default=0.0)
+
+    def enqueue(self, duration: float, *, after: float | None = None) -> float:
+        """Schedule ``duration`` seconds of work; return its completion time.
+
+        :param after: optional extra dependency (absolute time) the work
+            must wait for, e.g. completion of a transfer on another stream.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.ready, self.clock.now)
+        if after is not None:
+            start = max(start, after)
+        self.ready = start + duration
+        return self.ready
+
+    def synchronize(self) -> float:
+        """Block the host until the stream drains; advances the clock."""
+        return self.clock.advance_to(self.ready)

@@ -1,0 +1,101 @@
+"""Processor and device models for the simulated heterogeneous node.
+
+The simulator models a two-socket picture of a heterogeneous HPC node: a
+host CPU with large DRAM and a discrete GPU with its own device memory,
+connected by an interconnect (PCIe or NVLink).  Device behaviour that the
+XPlacer paper reasons about -- page residency, on-demand migration,
+read-duplication -- lives in :mod:`repro.memsim.unified_memory`; this module
+only describes the processors themselves and their raw compute throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Processor",
+    "CPU_DEVICE_ID",
+    "GPU_DEVICE_ID",
+    "DeviceSpec",
+]
+
+
+class Processor(enum.IntEnum):
+    """The two processor kinds of the simulated node.
+
+    The integer values double as row indices into the per-page state
+    matrices kept by the unified-memory driver, so they must stay ``0``
+    and ``1``.
+    """
+
+    CPU = 0
+    GPU = 1
+
+    @property
+    def other(self) -> "Processor":
+        """The peer processor (CPU<->GPU)."""
+        return Processor.GPU if self is Processor.CPU else Processor.CPU
+
+    @property
+    def short(self) -> str:
+        """One-letter tag used in diagnostic tables (``C`` or ``G``)."""
+        return "C" if self is Processor.CPU else "G"
+
+
+#: CUDA uses ``cudaCpuDeviceId == -1`` for the host in ``cudaMemAdvise``.
+CPU_DEVICE_ID = -1
+#: Device id of the (single) simulated GPU.
+GPU_DEVICE_ID = 0
+
+
+def processor_from_device_id(device_id: int) -> Processor:
+    """Map a CUDA-style device id to a :class:`Processor`.
+
+    ``-1`` (``cudaCpuDeviceId``) selects the CPU; ``0`` the GPU.  Any other
+    id is rejected -- the simulator models a single-GPU node.
+    """
+    if device_id == CPU_DEVICE_ID:
+        return Processor.CPU
+    if device_id == GPU_DEVICE_ID:
+        return Processor.GPU
+    raise ValueError(f"unknown device id {device_id!r} (single-GPU node)")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one processor.
+
+    Parameters are mechanistic knobs of the timing model, not calibration
+    against any particular testbed:
+
+    :param name: human-readable device name (e.g. ``"Nvidia Pascal P100"``).
+    :param processor: which :class:`Processor` this spec describes.
+    :param memory_bytes: capacity of the device's local memory.  For the
+        GPU this bounds resident managed pages and drives LRU eviction.
+    :param element_time: simulated seconds of compute per element-operation
+        *after* accounting for the device's parallelism (i.e. effective
+        throughput, not single-lane latency).
+    :param launch_overhead: fixed simulated seconds charged per kernel
+        launch (GPU) or per parallel-region entry (CPU).
+    """
+
+    name: str
+    processor: Processor
+    memory_bytes: int
+    element_time: float
+    launch_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.element_time <= 0:
+            raise ValueError("element_time must be positive")
+        if self.launch_overhead < 0:
+            raise ValueError("launch_overhead must be non-negative")
+
+    def compute_time(self, elements: int, ops_per_element: float = 1.0) -> float:
+        """Simulated time to process ``elements`` work items."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        return self.launch_overhead + elements * ops_per_element * self.element_time

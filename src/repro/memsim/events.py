@@ -1,0 +1,128 @@
+"""Event log for the unified-memory driver.
+
+Every observable driver action (page fault, migration, duplication,
+invalidation, eviction, explicit transfer, remote access) is recorded here.
+The log serves two purposes: tests assert on driver behaviour through it,
+and the evaluation harness derives fault/migration statistics from it
+(e.g. the "GPU page fault groups" the paper attributes Smith-Waterman's
+slow runs to).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .devices import Processor
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of driver events."""
+
+    PAGE_FAULT = "page_fault"          # a fault group (one per faulting access)
+    MIGRATION = "migration"            # pages moved between memories
+    DUPLICATION = "duplication"        # read-mostly copy created
+    INVALIDATION = "invalidation"      # read-mostly copies dropped on write
+    EVICTION = "eviction"              # GPU pages evicted to host (capacity)
+    TRANSFER = "transfer"              # explicit cudaMemcpy traffic
+    REMOTE_ACCESS = "remote_access"    # access served over the link w/o migration
+    POPULATE = "populate"              # first-touch page population
+    MAP = "map"                        # page mapped into a processor's tables
+
+
+@dataclass(frozen=True)
+class Event:
+    """One driver event.
+
+    :param kind: what happened.
+    :param time: simulated time at which it happened.
+    :param device: the processor whose access caused the event.
+    :param pages: number of pages involved (0 for byte-granular events).
+    :param nbytes: bytes moved/touched, when meaningful.
+    :param cost: simulated seconds charged for the event.
+    :param detail: free-form annotation (allocation label etc.).
+    """
+
+    kind: EventKind
+    time: float
+    device: Processor
+    pages: int = 0
+    nbytes: int = 0
+    cost: float = 0.0
+    detail: str = ""
+
+
+class EventLog:
+    """Append-only sequence of :class:`Event` with aggregate counters."""
+
+    def __init__(self, *, keep_events: bool = True, capacity: int = 1_000_000) -> None:
+        """:param keep_events: if False, only counters are kept (cheap mode
+            for large footprint runs).
+        :param capacity: hard bound on retained events; beyond it the log
+            degrades to counters-only rather than exhausting memory.
+        """
+        self._events: list[Event] = []
+        self._keep = keep_events
+        self._capacity = capacity
+        self.counts: Counter[EventKind] = Counter()
+        self.pages: Counter[EventKind] = Counter()
+        self.bytes: Counter[EventKind] = Counter()
+        self.costs: dict[EventKind, float] = {k: 0.0 for k in EventKind}
+
+    def record(self, event: Event) -> None:
+        """Append ``event`` and update aggregates."""
+        self.counts[event.kind] += 1
+        self.pages[event.kind] += event.pages
+        self.bytes[event.kind] += event.nbytes
+        self.costs[event.kind] += event.cost
+        if self._keep and len(self._events) < self._capacity:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All retained events of ``kind`` in order."""
+        return [e for e in self._events if e.kind is kind]
+
+    @property
+    def fault_groups(self) -> int:
+        """Number of page-fault groups recorded so far."""
+        return self.counts[EventKind.PAGE_FAULT]
+
+    @property
+    def migrated_pages(self) -> int:
+        """Total pages migrated (demand migration only, not eviction)."""
+        return self.pages[EventKind.MIGRATION]
+
+    def total_cost(self) -> float:
+        """Simulated seconds charged across all memory-system events."""
+        return sum(self.costs.values())
+
+    def clear(self) -> None:
+        """Drop all events and counters."""
+        self._events.clear()
+        self.counts.clear()
+        self.pages.clear()
+        self.bytes.clear()
+        self.costs = {k: 0.0 for k in EventKind}
+
+    def summary(self) -> dict[str, float]:
+        """Compact dict of headline statistics (used by reports/tests)."""
+        return {
+            "fault_groups": self.fault_groups,
+            "migrated_pages": self.migrated_pages,
+            "duplicated_pages": self.pages[EventKind.DUPLICATION],
+            "invalidations": self.counts[EventKind.INVALIDATION],
+            "evicted_pages": self.pages[EventKind.EVICTION],
+            "transfer_bytes": self.bytes[EventKind.TRANSFER],
+            "remote_accesses": self.counts[EventKind.REMOTE_ACCESS],
+            "memory_time": self.total_cost(),
+        }

@@ -1,0 +1,97 @@
+"""``XplAllocData`` and recursive pointer expansion (paper §III-B).
+
+The ``#pragma xpl diagnostic`` pragma lets users pass pointers to objects
+of interest; the instrumentation expands each pointer into records naming
+the object and -- recursively, guarding against type repetition -- every
+pointer member reachable from it.  These records only *name* allocations
+("the tracing and pattern computation would work without them, but the
+messages would be harder to interpret").
+
+In the Python workloads the same expansion walks object attributes looking
+for :class:`~repro.cudart.DevicePtr` / :class:`~repro.cudart.ArrayView`
+values; an object may also implement ``xpl_pointers()`` to control the
+order and naming, like LULESH's ``Domain`` does.  The mini-CUDA
+instrumenter performs the struct-type-driven expansion at transform time
+(see :mod:`repro.instrument.transform`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Iterable
+
+from ..cudart.memory import ArrayView, DevicePtr
+from ..memsim import Allocation
+
+__all__ = ["XplAllocData", "expand_object"]
+
+
+@dataclass(frozen=True)
+class XplAllocData:
+    """One named allocation record passed to a diagnostic function."""
+
+    addr: int
+    name: str
+    elem_size: int
+    alloc: Allocation | None = None
+
+
+def _pointer_record(value: Any, name: str) -> XplAllocData | None:
+    if isinstance(value, DevicePtr):
+        return XplAllocData(value.addr, name, 4, value.alloc)
+    if isinstance(value, ArrayView):
+        return XplAllocData(value.addr, name, value.itemsize, value.alloc)
+    return None
+
+
+def _attributes(obj: Any) -> Iterable[tuple[str, Any]]:
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [(f.name, getattr(obj, f.name)) for f in fields(obj)]
+    if hasattr(obj, "__dict__"):
+        return list(vars(obj).items())
+    return []
+
+
+def expand_object(obj: Any, name: str) -> list[XplAllocData]:
+    """Expand ``obj`` into allocation records, paper-style.
+
+    * a pointer/view expands to a single record;
+    * an object with ``xpl_pointers() -> [(suffix, value), ...]`` expands
+      to its own record (when it has a ``self_ptr``) plus one per entry,
+      named ``(name)->suffix``;
+    * any other object is scanned attribute by attribute;
+    * recursion stops on type repetition (linked-list guard).
+    """
+    records: list[XplAllocData] = []
+    seen_types: set[type] = set()
+
+    def walk(value: Any, label: str) -> None:
+        rec = _pointer_record(value, label)
+        if rec is not None:
+            records.append(rec)
+            return
+        if value is None or isinstance(value, (int, float, str, bytes, bool)):
+            return
+        t = type(value)
+        if t in seen_types:
+            return
+        seen_types.add(t)
+        self_ptr = getattr(value, "self_ptr", None)
+        if self_ptr is not None:
+            rec = _pointer_record(self_ptr, label)
+            if rec is not None:
+                records.append(rec)
+        if hasattr(value, "xpl_pointers"):
+            for suffix, member in value.xpl_pointers():
+                walk(member, f"({label})->{suffix}")
+        else:
+            for attr, member in _attributes(value):
+                if attr == "self_ptr":
+                    continue
+                if _pointer_record(member, attr) is not None or hasattr(member, "__dict__") \
+                        or is_dataclass(member):
+                    walk(member, f"({label})->{attr}")
+        seen_types.discard(t)
+
+    walk(obj, name)
+    return records

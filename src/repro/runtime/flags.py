@@ -1,0 +1,77 @@
+"""Shadow-memory bit flags (paper Fig 3 and §III-C).
+
+XPlacer stores **seven bits of information per 32-bit word** of traced
+memory, in one shadow byte:
+
+* which processors ever wrote the word this epoch (two bits),
+* which processor wrote it *last* (one bit, and the only state that
+  survives a diagnostic reset -- "the preceding write is the last write to
+  that address regardless if it occurred in the same iteration or
+  earlier"),
+* four read bits classified by ``origin > reader``: ``C>C``, ``C>G``,
+  ``G>C``, ``G>G``, where the origin is the processor that performed the
+  preceding write.  A word never written counts as CPU-origin (allocations
+  are initialized host-side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memsim import Processor
+
+__all__ = [
+    "WORD_SIZE",
+    "CPU_WROTE",
+    "GPU_WROTE",
+    "LAST_WRITE_GPU",
+    "READ_CC",
+    "READ_CG",
+    "READ_GC",
+    "READ_GG",
+    "ALL_READS",
+    "EPOCH_MASK",
+    "write_bit",
+    "read_bit_for",
+    "describe",
+]
+
+#: Bytes of traced memory covered by one shadow byte ("a character for
+#: each allocated 32-bit word -- roughly a 25% memory overhead").
+WORD_SIZE = 4
+
+CPU_WROTE = np.uint8(1 << 0)
+GPU_WROTE = np.uint8(1 << 1)
+LAST_WRITE_GPU = np.uint8(1 << 2)
+READ_CC = np.uint8(1 << 3)  #: CPU read a CPU-origin value
+READ_CG = np.uint8(1 << 4)  #: GPU read a CPU-origin value
+READ_GC = np.uint8(1 << 5)  #: CPU read a GPU-origin value
+READ_GG = np.uint8(1 << 6)  #: GPU read a GPU-origin value
+
+ALL_READS = np.uint8(READ_CC | READ_CG | READ_GC | READ_GG)
+
+#: Bits cleared by a diagnostic reset: everything except the last-writer
+#: bit, which must survive so later reads still know their value's origin.
+EPOCH_MASK = np.uint8(CPU_WROTE | GPU_WROTE | ALL_READS)
+
+
+def write_bit(proc: Processor) -> np.uint8:
+    """The 'wrote this epoch' bit for ``proc``."""
+    return CPU_WROTE if proc is Processor.CPU else GPU_WROTE
+
+
+def read_bit_for(reader: Processor, origin_is_gpu: bool) -> np.uint8:
+    """The read-classification bit for ``reader`` given the value origin."""
+    if reader is Processor.CPU:
+        return READ_GC if origin_is_gpu else READ_CC
+    return READ_GG if origin_is_gpu else READ_CG
+
+
+def describe(byte: int) -> str:
+    """Human-readable decoding of one shadow byte (debugging aid)."""
+    names = [
+        (CPU_WROTE, "Cw"), (GPU_WROTE, "Gw"), (LAST_WRITE_GPU, "last=G"),
+        (READ_CC, "C>C"), (READ_CG, "C>G"), (READ_GC, "G>C"), (READ_GG, "G>G"),
+    ]
+    parts = [n for bit, n in names if byte & int(bit)]
+    return "|".join(parts) if parts else "untouched"

@@ -1,0 +1,193 @@
+"""Shadow memory blocks (paper Fig 3).
+
+For every traced allocation, XPlacer keeps one shadow byte per 32-bit word
+of payload.  :class:`ShadowBlock` holds that byte array (numpy ``uint8``)
+and implements the vectorized update rules for reads, writes and
+read-modify-writes.  All updates are mask operations over word ranges or
+index arrays -- there is no per-element Python loop even when a kernel
+touches a megabyte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memsim import Allocation, Processor
+from . import flags as F
+
+__all__ = ["ShadowBlock", "AccessCounts"]
+
+
+@dataclass(frozen=True)
+class AccessCounts:
+    """Aggregate counters extracted from one shadow block.
+
+    Matches the columns of the paper's Fig 4 diagnostic table: write counts
+    per processor (each address counted once), and read counts per
+    ``origin > reader`` category (each address counted at most once per
+    category).
+    """
+
+    cpu_written: int
+    gpu_written: int
+    read_cc: int
+    read_cg: int
+    read_gc: int
+    read_gg: int
+    accessed_words: int
+    total_words: int
+
+    @property
+    def density(self) -> float:
+        """Fraction of words accessed at least once this epoch."""
+        return self.accessed_words / self.total_words if self.total_words else 0.0
+
+    @property
+    def alternating(self) -> int:
+        """This is filled in by :meth:`ShadowBlock.counts` callers via
+        :meth:`ShadowBlock.alternating_words`; kept here for symmetry."""
+        raise AttributeError("use ShadowBlock.alternating_words()")
+
+
+class ShadowBlock:
+    """Shadow state for one allocation."""
+
+    __slots__ = ("alloc", "shadow", "epoch_created", "freed_epoch")
+
+    def __init__(self, alloc: Allocation, epoch: int = 0) -> None:
+        self.alloc = alloc
+        nwords = -(-alloc.size // F.WORD_SIZE)
+        self.shadow = np.zeros(nwords, dtype=np.uint8)
+        self.epoch_created = epoch
+        self.freed_epoch: int | None = None
+
+    @property
+    def nwords(self) -> int:
+        """Number of traced 32-bit words."""
+        return len(self.shadow)
+
+    # ------------------------------------------------------------------ #
+    # address helpers
+
+    def word_range(self, byte_offset: int, nbytes: int) -> tuple[int, int]:
+        """Word-index range covering bytes ``[byte_offset, byte_offset+nbytes)``."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        lo = byte_offset // F.WORD_SIZE
+        hi = (byte_offset + nbytes - 1) // F.WORD_SIZE + 1
+        if hi > self.nwords:
+            raise ValueError("access beyond end of shadowed allocation")
+        return lo, hi
+
+    def word_indices(self, byte_offset: int, elem_size: int,
+                     indices: np.ndarray) -> np.ndarray:
+        """Unique word indices for a gather/scatter access."""
+        starts = byte_offset + indices * elem_size
+        if elem_size <= F.WORD_SIZE:
+            words = starts // F.WORD_SIZE
+        else:
+            # Wide elements span several words.
+            span = -(-elem_size // F.WORD_SIZE)
+            words = (starts[:, None] // F.WORD_SIZE) + np.arange(span)[None, :]
+            words = words.ravel()
+        return np.unique(words)
+
+    # ------------------------------------------------------------------ #
+    # update rules
+
+    def record_write(self, proc: Processor, lo: int, hi: int,
+                     idx: np.ndarray | None = None) -> None:
+        """Mark words written by ``proc`` and update the last-writer bit."""
+        wbit = F.write_bit(proc)
+        target = self.shadow[lo:hi] if idx is None else self.shadow
+        if idx is None:
+            target |= wbit
+            if proc is Processor.GPU:
+                target |= F.LAST_WRITE_GPU
+            else:
+                target &= np.uint8(~F.LAST_WRITE_GPU & 0xFF)
+        else:
+            self.shadow[idx] |= wbit
+            if proc is Processor.GPU:
+                self.shadow[idx] |= F.LAST_WRITE_GPU
+            else:
+                self.shadow[idx] &= np.uint8(~F.LAST_WRITE_GPU & 0xFF)
+
+    def record_read(self, proc: Processor, lo: int, hi: int,
+                    idx: np.ndarray | None = None) -> None:
+        """Mark words read by ``proc``, classified by value origin."""
+        if idx is None:
+            window = self.shadow[lo:hi]
+            origin_gpu = (window & F.LAST_WRITE_GPU) != 0
+            gpu_origin_bit = F.read_bit_for(proc, True)
+            cpu_origin_bit = F.read_bit_for(proc, False)
+            window[origin_gpu] |= gpu_origin_bit
+            window[~origin_gpu] |= cpu_origin_bit
+        else:
+            window = self.shadow[idx]
+            origin_gpu = (window & F.LAST_WRITE_GPU) != 0
+            window[origin_gpu] |= F.read_bit_for(proc, True)
+            window[~origin_gpu] |= F.read_bit_for(proc, False)
+            self.shadow[idx] = window
+
+    def record_rmw(self, proc: Processor, lo: int, hi: int,
+                   idx: np.ndarray | None = None) -> None:
+        """A read-modify-write: the read observes the *old* origin, then
+        the write updates ownership -- order matters."""
+        self.record_read(proc, lo, hi, idx)
+        self.record_write(proc, lo, hi, idx)
+
+    # ------------------------------------------------------------------ #
+    # analysis extraction
+
+    def counts(self) -> AccessCounts:
+        """Aggregate Fig 4-style counters for the current epoch."""
+        s = self.shadow
+        accessed = (s & F.EPOCH_MASK) != 0
+        return AccessCounts(
+            cpu_written=int(((s & F.CPU_WROTE) != 0).sum()),
+            gpu_written=int(((s & F.GPU_WROTE) != 0).sum()),
+            read_cc=int(((s & F.READ_CC) != 0).sum()),
+            read_cg=int(((s & F.READ_CG) != 0).sum()),
+            read_gc=int(((s & F.READ_GC) != 0).sum()),
+            read_gg=int(((s & F.READ_GG) != 0).sum()),
+            accessed_words=int(accessed.sum()),
+            total_words=self.nwords,
+        )
+
+    def cpu_accessed(self) -> np.ndarray:
+        """Mask of words the CPU touched this epoch."""
+        return (self.shadow & (F.CPU_WROTE | F.READ_CC | F.READ_GC)) != 0
+
+    def gpu_accessed(self) -> np.ndarray:
+        """Mask of words the GPU touched this epoch."""
+        return (self.shadow & (F.GPU_WROTE | F.READ_CG | F.READ_GG)) != 0
+
+    def written(self) -> np.ndarray:
+        """Mask of words written this epoch (by either processor)."""
+        return (self.shadow & (F.CPU_WROTE | F.GPU_WROTE)) != 0
+
+    def alternating_words(self) -> int:
+        """Words accessed by *both* processors with at least one write --
+        the paper's alternating-access criterion."""
+        return int((self.cpu_accessed() & self.gpu_accessed() & self.written()).sum())
+
+    def category_masks(self) -> dict[str, np.ndarray]:
+        """Per-word boolean masks for access-map figures (Fig 5/7/8/10)."""
+        s = self.shadow
+        return {
+            "cpu_write": (s & F.CPU_WROTE) != 0,
+            "gpu_write": (s & F.GPU_WROTE) != 0,
+            "cpu_read": (s & (F.READ_CC | F.READ_GC)) != 0,
+            "gpu_read": (s & (F.READ_CG | F.READ_GG)) != 0,
+            "gpu_read_cpu_origin": (s & F.READ_CG) != 0,
+            "gpu_read_gpu_origin": (s & F.READ_GG) != 0,
+            "cpu_read_gpu_origin": (s & F.READ_GC) != 0,
+            "accessed": (s & F.EPOCH_MASK) != 0,
+        }
+
+    def reset(self) -> None:
+        """Epoch reset: clear access bits, keep the last-writer bit."""
+        self.shadow &= np.uint8(~F.EPOCH_MASK & 0xFF)

@@ -1,0 +1,96 @@
+"""The shadow memory table (SMT, paper Fig 3 and §IV-D).
+
+A sorted table mapping address ranges to :class:`ShadowBlock` entries.
+Per the paper's overhead discussion, lookup "uses linear search when the
+number of allocations is less than 64, and binary search otherwise"; we
+implement exactly that policy (and test both regimes).
+
+Freed allocations keep their shadow parked in a graveyard "until the next
+diagnostic output has been computed" -- so a buffer that is allocated,
+used and freed between two diagnostics still shows up in the report
+(LULESH's per-timestep temporaries depend on this).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..memsim import Allocation
+
+from .shadow import ShadowBlock
+
+__all__ = ["ShadowMemoryTable", "LINEAR_SEARCH_LIMIT"]
+
+#: Below this many live entries the table scans linearly (paper §IV-D).
+LINEAR_SEARCH_LIMIT = 64
+
+
+class ShadowMemoryTable:
+    """Sorted map from address ranges to shadow blocks."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._blocks: list[ShadowBlock] = []
+        self.graveyard: list[ShadowBlock] = []
+        self.lookups = 0
+        self.linear_lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def insert(self, alloc: Allocation, epoch: int = 0) -> ShadowBlock:
+        """Register ``alloc`` and create its shadow block (an O(N) insert
+        into the sorted array, as the paper notes)."""
+        idx = bisect.bisect_right(self._starts, alloc.base)
+        if idx > 0 and self._blocks[idx - 1].alloc.end > alloc.base:
+            raise ValueError(f"allocation at {alloc.base:#x} overlaps an existing entry")
+        self._starts.insert(idx, alloc.base)
+        self._blocks.insert(idx, ShadowBlock(alloc, epoch))
+        return self._blocks[idx]
+
+    def remove(self, base: int, epoch: int) -> ShadowBlock | None:
+        """Unlink the entry at ``base``; park its shadow in the graveyard."""
+        idx = bisect.bisect_right(self._starts, base) - 1
+        if idx < 0 or self._starts[idx] != base:
+            return None
+        block = self._blocks.pop(idx)
+        self._starts.pop(idx)
+        block.freed_epoch = epoch
+        self.graveyard.append(block)
+        return block
+
+    def lookup(self, addr: int) -> ShadowBlock | None:
+        """Find the block containing ``addr`` (``None`` = untracked, and
+        the memory operation is ignored, per the paper)."""
+        self.lookups += 1
+        if len(self._blocks) < LINEAR_SEARCH_LIMIT:
+            self.linear_lookups += 1
+            for block in self._blocks:
+                if block.alloc.base <= addr:
+                    if addr < block.alloc.end:
+                        return block
+                else:
+                    break  # sorted: no later entry can contain addr
+            return None
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return None
+        block = self._blocks[idx]
+        return block if addr < block.alloc.end else None
+
+    def live_and_dead(self) -> list[ShadowBlock]:
+        """All blocks a diagnostic should report: live + graveyard."""
+        return list(self._blocks) + list(self.graveyard)
+
+    def flush_graveyard(self) -> list[ShadowBlock]:
+        """Drop parked shadows (called after each diagnostic)."""
+        dead, self.graveyard = self.graveyard, []
+        return dead
+
+    def reset_all(self) -> None:
+        """Epoch-reset every live shadow block."""
+        for block in self._blocks:
+            block.reset()

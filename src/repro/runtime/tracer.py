@@ -1,0 +1,243 @@
+"""The XPlacer tracer: the runtime half of the instrumentation API.
+
+Two entry paths feed the same shadow memory:
+
+* **Observer path** -- the tracer subscribes to a simulated
+  :class:`~repro.cudart.CudaRuntime`, which publishes every view access,
+  CUDA call and kernel launch (how the Python workloads are traced).
+* **Direct path** -- the paper's Table I API (:meth:`Tracer.traceR`,
+  :meth:`Tracer.traceW`, :meth:`Tracer.traceRW`, and the ``trc*`` wrappers)
+  used by instrumented mini-CUDA programs, where *every* call performs an
+  SMT address lookup exactly as the paper describes.
+
+Besides shadow updates, the tracer records explicit transfers (for the
+unnecessary-transfer analysis), applied advice (so detectors can check
+"existing hints do not match access characteristics"), and kernel launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cudart.advice import cudaMemcpyKind, cudaMemoryAdvise
+from ..cudart.observer import ObserverBase
+from ..memsim import Allocation, MemoryKind, Processor
+
+from .shadow import ShadowBlock
+from .smt import ShadowMemoryTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cudart.api import CudaRuntime
+
+__all__ = ["Tracer", "TransferRecord", "AdviceRecord", "KernelRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One explicit ``cudaMemcpy`` leg touching traced memory."""
+
+    alloc: Allocation
+    offset: int
+    nbytes: int
+    direction: str  #: ``"H2D"`` or ``"D2H"``
+    epoch: int
+
+
+@dataclass(frozen=True)
+class AdviceRecord:
+    """One ``cudaMemAdvise`` application."""
+
+    alloc: Allocation
+    advice: cudaMemoryAdvise
+    offset: int
+    nbytes: int
+    device_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One kernel launch."""
+
+    name: str
+    grid: int
+    block: int
+    epoch: int
+
+
+class Tracer(ObserverBase):
+    """Records heap accesses into shadow memory (paper §III-C)."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.smt = ShadowMemoryTable()
+        self.enabled = enabled
+        self.epoch = 0
+        self.transfers: list[TransferRecord] = []
+        self.advice: list[AdviceRecord] = []
+        self.kernels: list[KernelRecord] = []
+        self._runtime: "CudaRuntime | None" = None
+
+    # ------------------------------------------------------------------ #
+    # wiring
+
+    def attach(self, runtime: "CudaRuntime") -> "Tracer":
+        """Subscribe to ``runtime`` (idempotent); returns self."""
+        runtime.subscribe(self)
+        self._runtime = runtime
+        return self
+
+    def bind(self, runtime: "CudaRuntime") -> "Tracer":
+        """Bind to ``runtime`` for processor context *without* subscribing.
+
+        Used by the mini-CUDA pipeline, where only the instrumented
+        ``trace*`` calls feed the tracer (as in the paper's compiled
+        workflow) but device/host attribution still follows the runtime's
+        execution context.
+        """
+        self._runtime = runtime
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the runtime."""
+        if self._runtime is not None:
+            self._runtime.unsubscribe(self)
+            self._runtime = None
+
+    @property
+    def current_proc(self) -> Processor:
+        """Processor executing right now (CPU unless inside a kernel)."""
+        return self._runtime.current_proc if self._runtime else Processor.CPU
+
+    # ------------------------------------------------------------------ #
+    # direct tracing API (paper Table I)
+
+    def traceR(self, addr: int, size: int = 4) -> int:
+        """``const T& traceR(const T&)``: record a read, return the address."""
+        if self.enabled:
+            block = self.smt.lookup(addr)
+            if block is not None:
+                lo, hi = block.word_range(addr - block.alloc.base, size)
+                block.record_read(self.current_proc, lo, hi)
+        return addr
+
+    def traceW(self, addr: int, size: int = 4) -> int:
+        """``T& traceW(T&)``: record a write, return the address."""
+        if self.enabled:
+            block = self.smt.lookup(addr)
+            if block is not None:
+                lo, hi = block.word_range(addr - block.alloc.base, size)
+                block.record_write(self.current_proc, lo, hi)
+        return addr
+
+    def traceRW(self, addr: int, size: int = 4) -> int:
+        """``T& traceRW(T&)``: record a read-modify-write, return the address."""
+        if self.enabled:
+            block = self.smt.lookup(addr)
+            if block is not None:
+                lo, hi = block.word_range(addr - block.alloc.base, size)
+                block.record_rmw(self.current_proc, lo, hi)
+        return addr
+
+    # ------------------------------------------------------------------ #
+    # allocation wrappers (``#pragma xpl replace`` targets)
+
+    def trc_register(self, alloc: Allocation) -> ShadowBlock:
+        """``trcMalloc``/``trcMallocManaged`` bookkeeping for ``alloc``."""
+        return self.smt.insert(alloc, self.epoch)
+
+    def trc_free(self, alloc: Allocation) -> None:
+        """``trcFree``: payload goes now, shadow parks until next diagnostic."""
+        self.smt.remove(alloc.base, self.epoch)
+
+    # ------------------------------------------------------------------ #
+    # observer callbacks (the Python-workload path)
+
+    def on_alloc(self, alloc: Allocation) -> None:  # noqa: D102
+        if self.enabled:
+            self.trc_register(alloc)
+
+    def on_free(self, alloc: Allocation) -> None:  # noqa: D102
+        if self.enabled:
+            self.trc_free(alloc)
+
+    def on_access(self, proc, alloc, byte_offset, elem_size, count,
+                  is_write, indices, is_rmw) -> None:  # noqa: D102
+        if not self.enabled:
+            return
+        block = self.smt.lookup(alloc.base)
+        if block is None:
+            return
+        if indices is None:
+            lo, hi = block.word_range(byte_offset, count * elem_size)
+            idx = None
+        else:
+            lo = hi = 0
+            idx = block.word_indices(byte_offset, elem_size, indices)
+        if is_rmw:
+            block.record_rmw(proc, lo, hi, idx)
+        elif is_write:
+            block.record_write(proc, lo, hi, idx)
+        else:
+            block.record_read(proc, lo, hi, idx)
+
+    def on_memcpy(self, dst, dst_off, src, src_off, nbytes, kind) -> None:  # noqa: D102
+        if not self.enabled:
+            return
+        # Paper §III-C: H2D transfers are recorded as CPU writes of the
+        # destination; D2H transfers as CPU reads of the source.
+        if dst is not None:
+            block = self.smt.lookup(dst.base)
+            if block is not None:
+                lo, hi = block.word_range(dst_off, nbytes)
+                block.record_write(Processor.CPU, lo, hi)
+                if dst.kind is MemoryKind.DEVICE:
+                    self.transfers.append(TransferRecord(
+                        dst, dst_off, nbytes, "H2D", self.epoch))
+        if src is not None:
+            block = self.smt.lookup(src.base)
+            if block is not None:
+                lo, hi = block.word_range(src_off, nbytes)
+                block.record_read(Processor.CPU, lo, hi)
+                if src.kind is MemoryKind.DEVICE:
+                    self.transfers.append(TransferRecord(
+                        src, src_off, nbytes, "D2H", self.epoch))
+
+    def on_kernel_launch(self, name: str, grid: int, block: int) -> None:  # noqa: D102
+        if self.enabled:
+            self.kernels.append(KernelRecord(name, grid, block, self.epoch))
+
+    def on_advice(self, alloc, advice, byte_offset, nbytes, device_id) -> None:  # noqa: D102
+        if self.enabled:
+            self.advice.append(AdviceRecord(
+                alloc, advice, byte_offset, nbytes, device_id, self.epoch))
+
+    # ------------------------------------------------------------------ #
+    # epoch management (driven by diagnostics)
+
+    def advance_epoch(self) -> int:
+        """Close the current epoch: reset live shadows, drop parked ones."""
+        self.smt.reset_all()
+        self.smt.flush_graveyard()
+        self.epoch += 1
+        return self.epoch
+
+    def advice_for(self, alloc: Allocation) -> set[cudaMemoryAdvise]:
+        """Advice currently applied to ``alloc`` (set/unset pairs folded)."""
+        state: set[cudaMemoryAdvise] = set()
+        A = cudaMemoryAdvise
+        unset_of = {
+            A.cudaMemAdviseUnsetReadMostly: A.cudaMemAdviseSetReadMostly,
+            A.cudaMemAdviseUnsetPreferredLocation: A.cudaMemAdviseSetPreferredLocation,
+            A.cudaMemAdviseUnsetAccessedBy: A.cudaMemAdviseSetAccessedBy,
+        }
+        for rec in self.advice:
+            if rec.alloc.base != alloc.base:
+                continue
+            if rec.advice in unset_of:
+                state.discard(unset_of[rec.advice])
+            else:
+                state.add(rec.advice)
+        return state

@@ -1,0 +1,5 @@
+"""Benchmark applications ported to the simulated CUDA runtime."""
+
+from .base import Session, WorkloadRun, make_session
+
+__all__ = ["Session", "WorkloadRun", "make_session"]

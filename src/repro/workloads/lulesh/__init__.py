@@ -1,0 +1,23 @@
+"""LULESH 2 proxy application (paper §II-C, §III-D, §IV-A)."""
+
+from .domain import (
+    ALL_FIELDS,
+    DOMAIN_STRUCT_BYTES,
+    PERSISTENT_FIELDS,
+    TEMP_GRADIENTS,
+    TEMP_KINEMATICS,
+    Domain,
+)
+from .lulesh import VARIANTS, Lulesh, run_lulesh
+
+__all__ = [
+    "ALL_FIELDS",
+    "DOMAIN_STRUCT_BYTES",
+    "PERSISTENT_FIELDS",
+    "TEMP_GRADIENTS",
+    "TEMP_KINEMATICS",
+    "Domain",
+    "VARIANTS",
+    "Lulesh",
+    "run_lulesh",
+]

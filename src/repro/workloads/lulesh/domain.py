@@ -1,0 +1,245 @@
+"""The LULESH ``Domain`` singleton (paper §II-C and §IV-A).
+
+LULESH encapsulates all simulation state in one ``Domain`` object holding
+pointers to dynamically allocated arrays.  Both the object and the arrays
+live in unified memory.  This port mirrors the memory structure exactly:
+
+* a **3736-byte managed struct block** (the paper gives this size in
+  Fig 5) whose first 50 slots hold the array pointers, followed by the
+  time-stepping scalars;
+* 40 persistent managed arrays (node-, element- and connectivity-
+  centered), initialized by the CPU before the first timestep;
+* 9 **temporary** arrays (``m_dxx``..``m_dzz`` and the six ``m_delx_*`` /
+  ``m_delv_*`` gradients) that the CPU allocates, stores into the domain
+  object, and frees again -- twice per timestep.  Those per-timestep
+  pointer writes into the shared struct page are the root cause of the 3x
+  slowdown the paper diagnoses: 9 pointers x 2 shadow words = the "18
+  elements with alternating accesses" of Fig 4.
+
+GPU kernels dereference arrays *through* the struct block: each kernel
+first gathers the pointer slots it needs (a traced GPU read of the domain
+page), then accesses the arrays.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ...cudart import ArrayView, DevicePtr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..base import Session
+
+__all__ = [
+    "Domain",
+    "DOMAIN_STRUCT_BYTES",
+    "NODE_FIELDS",
+    "ELEM_FIELDS",
+    "CONN_FIELDS",
+    "SYMM_FIELDS",
+    "REG_FIELDS",
+    "TEMP_KINEMATICS",
+    "TEMP_GRADIENTS",
+    "PERSISTENT_FIELDS",
+    "ALL_FIELDS",
+]
+
+#: Size of the domain object; Fig 5's caption: "the domain object has a
+#: size of 3736 bytes".
+DOMAIN_STRUCT_BYTES = 3736
+
+#: Node-centered float64 arrays, (s+1)^3 entries each.
+NODE_FIELDS = (
+    "m_x", "m_y", "m_z", "m_xd", "m_yd", "m_zd",
+    "m_xdd", "m_ydd", "m_zdd", "m_fx", "m_fy", "m_fz", "m_nodalMass",
+)
+#: Element-centered float64 arrays, s^3 entries each.
+ELEM_FIELDS = (
+    "m_e", "m_p", "m_q", "m_ql", "m_qq", "m_v", "m_volo",
+    "m_vnew", "m_delv", "m_vdov", "m_arealg", "m_ss", "m_elemMass",
+)
+#: Connectivity / flags, int32.
+CONN_FIELDS = (
+    "m_nodelist",                      # 8 per element
+    "m_lxim", "m_lxip", "m_letam", "m_letap", "m_lzetam", "m_lzetap",
+    "m_elemBC",
+)
+#: Symmetry-plane node lists, int32, (s+1)^2 entries each.
+SYMM_FIELDS = ("m_symmX", "m_symmY", "m_symmZ")
+#: Region bookkeeping, int32, s^3 entries each.
+REG_FIELDS = ("m_regNumList", "m_regElemlist")
+
+#: Temporaries of CalcKinematicsForElems (alloc/free episode A).
+TEMP_KINEMATICS = ("m_dxx", "m_dyy", "m_dzz")
+#: Temporaries of CalcMonotonicQGradientsForElems (episode B).
+TEMP_GRADIENTS = (
+    "m_delx_xi", "m_delx_eta", "m_delx_zeta",
+    "m_delv_xi", "m_delv_eta", "m_delv_zeta",
+)
+
+PERSISTENT_FIELDS = NODE_FIELDS + ELEM_FIELDS + CONN_FIELDS + SYMM_FIELDS + REG_FIELDS
+ALL_FIELDS = PERSISTENT_FIELDS + TEMP_KINEMATICS + TEMP_GRADIENTS
+
+# dom + 48 arrays + the reduction side-buffer = the paper's "50 allocations
+# in unified space" reported by each diagnostic.
+assert len(ALL_FIELDS) == 48
+
+_SLOT_BYTES = 8  # one 64-bit pointer per slot
+
+#: Scalar fields stored after the pointer slots (float64 each).
+_SCALARS = ("time", "deltatime", "dtcourant", "dthydro", "stoptime")
+_SCALAR_BASE = len(ALL_FIELDS) * _SLOT_BYTES
+#: The int32 cycle counter sits right after the float scalars.
+_CYCLE_OFFSET = _SCALAR_BASE + len(_SCALARS) * 8
+
+
+class Domain:
+    """The LULESH domain object over the simulated runtime.
+
+    :param session: runtime session to allocate in.
+    :param size: problem size ``s`` (mesh edge elements); the paper sweeps
+        8..48.
+    :param struct_label: diagnostic label of the struct block.
+    """
+
+    def __init__(self, session: "Session", size: int,
+                 struct_label: str = "dom",
+                 share_arrays_with: "Domain | None" = None) -> None:
+        if size < 2:
+            raise ValueError("LULESH problem size must be >= 2")
+        self.session = session
+        self.size = size
+        self.numElem = size ** 3
+        self.numNode = (size + 1) ** 3
+        rt = session.runtime
+
+        self.self_ptr: DevicePtr = rt.malloc_managed(
+            DOMAIN_STRUCT_BYTES, label=struct_label)
+        self._slots = self.self_ptr.typed(np.uint64, len(ALL_FIELDS))
+        self._scalars = self.self_ptr.typed(
+            np.float64, len(_SCALARS), offset_bytes=_SCALAR_BASE)
+        self._slot_index = {name: i for i, name in enumerate(ALL_FIELDS)}
+        self._pointers: dict[str, DevicePtr | None] = dict.fromkeys(ALL_FIELDS)
+        self._dtypes: dict[str, np.dtype] = {}
+        self._counts: dict[str, int] = {}
+
+        if share_arrays_with is not None:
+            # The "duplicate domain object" remedy: a second struct block
+            # pointing at the *same* arrays, so each processor can keep an
+            # exclusive copy of the object itself.
+            if share_arrays_with.size != size:
+                raise ValueError("shared domains must agree on problem size")
+            for name in PERSISTENT_FIELDS:
+                ptr = share_arrays_with._pointers[name]
+                self._dtypes[name] = share_arrays_with._dtypes[name]
+                self._counts[name] = share_arrays_with._counts[name]
+                self.set_field(name, ptr)
+        else:
+            for name in PERSISTENT_FIELDS:
+                dtype, count = self.field_geometry(name)
+                ptr = rt.malloc_managed(count * dtype.itemsize, label=name)
+                self._dtypes[name] = dtype
+                self._counts[name] = count
+                self.set_field(name, ptr)
+
+    # ------------------------------------------------------------------ #
+    # geometry
+
+    def field_geometry(self, name: str) -> tuple[np.dtype, int]:
+        """dtype and element count of field ``name`` for this size."""
+        if name in NODE_FIELDS:
+            return np.dtype(np.float64), self.numNode
+        if name in ELEM_FIELDS or name in TEMP_KINEMATICS or name in TEMP_GRADIENTS:
+            return np.dtype(np.float64), self.numElem
+        if name == "m_nodelist":
+            return np.dtype(np.int32), 8 * self.numElem
+        if name in CONN_FIELDS or name in REG_FIELDS:
+            return np.dtype(np.int32), self.numElem
+        if name in SYMM_FIELDS:
+            return np.dtype(np.int32), (self.size + 1) ** 2
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # struct-block traffic (all traced)
+
+    def set_field(self, name: str, ptr: DevicePtr | None) -> None:
+        """CPU-write a pointer slot in the domain object."""
+        i = self._slot_index[name]
+        addr = np.uint64(ptr.addr if ptr is not None else 0)
+        self._slots.write(i, np.array([addr]))
+        self._pointers[name] = ptr
+        if ptr is not None:
+            self._dtypes.setdefault(name, self.field_geometry(name)[0])
+            self._counts.setdefault(name, self.field_geometry(name)[1])
+
+    def load(self, *names: str) -> dict[str, ArrayView]:
+        """Dereference fields through the struct block.
+
+        Inside a kernel this counts as GPU reads of the domain page -- the
+        access that page-faults when the CPU dirtied the object.
+        """
+        idx = np.array([self._slot_index[n] for n in names], dtype=np.int64)
+        self._slots.gather(idx)
+        views: dict[str, ArrayView] = {}
+        for n in names:
+            ptr = self._pointers[n]
+            if ptr is None:
+                raise RuntimeError(f"domain field {n} dereferenced while unset")
+            views[n] = ptr.typed(self._dtypes[n], self._counts[n])
+        return views
+
+    def view(self, name: str) -> ArrayView:
+        """Direct (still traced) view of a field, bypassing the struct
+        pointer load -- what the 'duplicate domain' remedy uses for temps."""
+        ptr = self._pointers[name]
+        if ptr is None:
+            raise RuntimeError(f"domain field {name} is unset")
+        return ptr.typed(self._dtypes[name], self._counts[name])
+
+    def read_scalars(self, *names: str) -> np.ndarray | None:
+        """CPU-read time-stepping scalars from the struct block."""
+        idx = np.array([_SCALARS.index(n) for n in names], dtype=np.int64)
+        return self._scalars.gather(idx)
+
+    def write_scalar(self, name: str, value: float) -> None:
+        """CPU-write one time-stepping scalar."""
+        i = _SCALARS.index(name)
+        self._scalars.write(i, np.array([value]))
+
+    def write_cycle(self, cycle: int) -> None:
+        """CPU-write the int32 cycle counter (one shadow word)."""
+        view = self.self_ptr.typed(np.int32, 1, offset_bytes=_CYCLE_OFFSET)
+        view.write(0, np.array([cycle], np.int32))
+
+    # ------------------------------------------------------------------ #
+    # temporaries (the paper's problem pattern)
+
+    def alloc_temps(self, names: Iterable[str]) -> list[DevicePtr]:
+        """Allocate temporaries in managed memory and store them into the
+        domain object (CPU writes to the shared struct page)."""
+        rt = self.session.runtime
+        ptrs = []
+        for name in names:
+            dtype, count = self.field_geometry(name)
+            ptr = rt.malloc_managed(count * dtype.itemsize, label=name)
+            self.set_field(name, ptr)
+            ptrs.append(ptr)
+        return ptrs
+
+    def free_temps(self, names: Iterable[str]) -> None:
+        """Free temporaries and clear their slots (more CPU struct writes)."""
+        rt = self.session.runtime
+        for name in names:
+            ptr = self._pointers[name]
+            if ptr is not None:
+                rt.free(ptr)
+                self.set_field(name, None)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics expansion (paper's XplAllocData protocol)
+
+    def xpl_pointers(self) -> list[tuple[str, DevicePtr]]:
+        """Pointer members for ``expand_object`` -- live fields only."""
+        return [(n, p) for n, p in self._pointers.items() if p is not None]

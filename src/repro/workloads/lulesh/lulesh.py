@@ -1,0 +1,291 @@
+"""The LULESH 2 proxy application (RAJA/CUDA structure) and its remedies.
+
+The default (baseline) variant reproduces the paper's problem: all dynamic
+memory in managed space with no hints, the domain object shared between
+CPU (time-stepping control, temporary management) and GPU (all compute
+kernels), temporaries allocated/freed twice per timestep *through* the
+domain object.
+
+Four remedy variants match §IV-A:
+
+* ``read_mostly`` -- ``cudaMemAdviseSetReadMostly`` on the domain object
+  (the paper's one-line change, 2.75x-3.1x on the Intel testbeds);
+* ``preferred_cpu`` -- ``SetPreferredLocation(cpu)`` on the domain object;
+* ``accessed_by`` -- ``SetAccessedBy`` for GPU and CPU on the domain object;
+* ``duplicate`` -- two identical domain objects, each accessed exclusively
+  by one processor, temporaries passed outside the object (the paper's
+  best remedy, 3.1x-3.7x on Intel and 1.03x on IBM/NVLink).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+import numpy as np
+
+from ...analysis import Diagnosis, diagnose
+from ...cudart import ArrayView, DevicePtr, cudaMemoryAdvise
+from ...memsim import CPU_DEVICE_ID, GPU_DEVICE_ID
+from ...runtime import expand_object
+from ..base import Session, WorkloadRun, make_session
+from . import kernels as K
+from .domain import (
+    DOMAIN_STRUCT_BYTES,
+    PERSISTENT_FIELDS,
+    TEMP_GRADIENTS,
+    TEMP_KINEMATICS,
+    Domain,
+)
+
+__all__ = ["Lulesh", "VARIANTS", "run_lulesh"]
+
+VARIANTS = ("baseline", "read_mostly", "preferred_cpu", "accessed_by", "duplicate")
+
+_BLOCK = 128
+_OPS_PER_ELEMENT = 8.0  # simplified-hydro arithmetic intensity
+
+
+class Lulesh:
+    """One LULESH instance bound to a session."""
+
+    def __init__(
+        self,
+        session: Session,
+        size: int,
+        *,
+        variant: str = "baseline",
+        diagnose_each_step: bool = False,
+        out: IO[str] | None = None,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        self.session = session
+        self.size = size
+        self.variant = variant
+        self.diagnose_each_step = diagnose_each_step
+        self.out = out
+        self.dom = Domain(session, size)
+        self.gpu_dom: Domain | None = None
+        self.cycle = 0
+        self.diagnoses: list[Diagnosis] = []
+        rt = session.runtime
+        self._reduce = rt.malloc_managed(16, label="m_dt_reduce").typed(np.float64, 2)
+        self._init_arrays()
+        self._apply_variant()
+
+    # ------------------------------------------------------------------ #
+    # setup
+
+    def _init_arrays(self) -> None:
+        """CPU-side mesh initialization (the Sedov problem setup)."""
+        dom, rt = self.dom, self.session.runtime
+        s = self.size
+        functional = rt.materialize
+        for name in PERSISTENT_FIELDS:
+            view = dom.view(name)
+            if not functional:
+                view.write(0, None, hi=len(view))
+                continue
+            dtype, count = dom.field_geometry(name)
+            if name in ("m_x", "m_y", "m_z"):
+                axis = ("m_x", "m_y", "m_z").index(name)
+                n1 = s + 1
+                coords = np.indices((n1, n1, n1))[axis].ravel().astype(np.float64)
+                view.write(0, coords / s)
+            elif name in ("m_nodalMass", "m_volo", "m_v", "m_elemMass"):
+                view.write(0, np.ones(count))
+            elif name == "m_e":
+                energy = np.zeros(count)
+                energy[0] = 3.948746e7  # Sedov point blast at the origin
+                view.write(0, energy)
+            elif name == "m_nodelist":
+                conn = (np.arange(count) % dom.numNode).astype(np.int32)
+                view.write(0, conn)
+            elif name in ("m_symmX", "m_symmY", "m_symmZ"):
+                view.write(0, np.arange(count, dtype=np.int32))
+            elif dtype == np.dtype(np.int32):
+                view.write(0, np.zeros(count, np.int32))
+            else:
+                view.write(0, np.zeros(count))
+        dom.write_scalar("time", 0.0)
+        dom.write_scalar("deltatime", 1e-7)
+        dom.write_scalar("dtcourant", 1e20)
+        dom.write_scalar("dthydro", 1e20)
+        dom.write_scalar("stoptime", 1e-2)
+        rt.cpu_compute(dom.numNode * 3 + dom.numElem * 5)
+
+    def _apply_variant(self) -> None:
+        rt = self.session.runtime
+        A = cudaMemoryAdvise
+        ptr = self.dom.self_ptr
+        if self.variant == "read_mostly":
+            rt.mem_advise(ptr, DOMAIN_STRUCT_BYTES, A.cudaMemAdviseSetReadMostly)
+        elif self.variant == "preferred_cpu":
+            rt.mem_advise(ptr, DOMAIN_STRUCT_BYTES,
+                          A.cudaMemAdviseSetPreferredLocation, CPU_DEVICE_ID)
+        elif self.variant == "accessed_by":
+            rt.mem_advise(ptr, DOMAIN_STRUCT_BYTES,
+                          A.cudaMemAdviseSetAccessedBy, GPU_DEVICE_ID)
+            rt.mem_advise(ptr, DOMAIN_STRUCT_BYTES,
+                          A.cudaMemAdviseSetAccessedBy, CPU_DEVICE_ID)
+        elif self.variant == "duplicate":
+            self.gpu_dom = Domain(self.session, self.size,
+                                  struct_label="dom_gpu",
+                                  share_arrays_with=self.dom)
+
+    # ------------------------------------------------------------------ #
+    # the timestep
+
+    @property
+    def _kernel_dom(self) -> Domain:
+        return self.gpu_dom if self.gpu_dom is not None else self.dom
+
+    def _launch(self, fn, work: int, *args) -> None:
+        grid = max(1, -(-work // _BLOCK))
+        self.session.runtime.launch(
+            fn, grid, _BLOCK, self._kernel_dom, *args,
+            name=fn.__name__, work=work, ops_per_element=_OPS_PER_ELEMENT,
+        )
+
+    def _alloc_temps(self, names) -> dict[str, ArrayView] | None:
+        """Allocate per-timestep temporaries.
+
+        Baseline and advice variants store them *into the domain object*
+        (the anti-pattern); the duplicate variant passes them directly.
+        """
+        if self.variant == "duplicate":
+            rt = self.session.runtime
+            temps: dict[str, ArrayView] = {}
+            self._temp_ptrs: list[DevicePtr] = getattr(self, "_temp_ptrs", [])
+            for name in names:
+                dtype, count = self.dom.field_geometry(name)
+                p = rt.malloc_managed(count * dtype.itemsize, label=name)
+                self._temp_ptrs.append(p)
+                temps[name] = p.typed(dtype, count)
+            return temps
+        self.dom.alloc_temps(names)
+        return None
+
+    def _free_temps(self, names, temps: dict[str, ArrayView] | None) -> None:
+        if self.variant == "duplicate":
+            rt = self.session.runtime
+            for p in self._temp_ptrs:
+                rt.free(p)
+            self._temp_ptrs = []
+        else:
+            self.dom.free_temps(names)
+
+    def step(self) -> None:
+        """One Lagrange leapfrog timestep."""
+        dom, rt = self.dom, self.session.runtime
+        n, e = dom.numNode, dom.numElem
+
+        # -- TimeIncrement: CPU reads constraints, writes new dt/time.
+        scal = dom.read_scalars("time", "deltatime", "dtcourant", "dthydro")
+        if scal is not None:
+            time, dt, dtc, dth = scal
+            dt = min(dt * 1.1, dtc / 2.0, dth / 2.0, 1e-7 * (self.cycle + 1))
+        else:
+            time, dt = 0.0, 1e-7
+        dom.write_scalar("deltatime", float(dt))
+        dom.write_scalar("time", float(time) + float(dt))
+        dom.write_cycle(self.cycle)
+        rt.cpu_compute(8)
+
+        # Host code dereferences domain members to set up each launch
+        # (RAJA lambdas capture them by value) -- on the baseline these
+        # CPU reads keep pulling the object page back from the GPU.
+        # -- LagrangeNodal.
+        dom.load("m_fx", "m_fy", "m_fz", "m_nodalMass",
+                 "m_xdd", "m_ydd", "m_zdd", "m_xd", "m_yd", "m_zd",
+                 "m_x", "m_y", "m_z")
+        self._launch(K.calc_force_for_nodes, e)
+        self._launch(K.calc_acceleration_for_nodes, n)
+        self._launch(K.apply_boundary_conditions, (self.size + 1) ** 2)
+        self._launch(K.calc_velocity_for_nodes, n, float(dt))
+        self._launch(K.calc_position_for_nodes, n, float(dt))
+
+        # -- LagrangeElements, episode A: kinematics temporaries.
+        temps_a = self._alloc_temps(TEMP_KINEMATICS)
+        self._launch(K.calc_kinematics, e, float(dt), temps_a)
+        self._free_temps(TEMP_KINEMATICS, temps_a)
+
+        # -- episode B: monotonic Q gradient temporaries.
+        temps_b = self._alloc_temps(TEMP_GRADIENTS)
+        self._launch(K.calc_monotonic_q_gradient, e, temps_b)
+        dom.load("m_elemBC", "m_qq", "m_ql")
+        self._launch(K.calc_monotonic_q_region, e, temps_b)
+        self._free_temps(TEMP_GRADIENTS, temps_b)
+
+        # -- material update.
+        dom.load("m_e", "m_p", "m_q", "m_delv", "m_ss", "m_vnew")
+        self._launch(K.eval_eos, e)
+        dom.load("m_vnew", "m_v")
+        self._launch(K.update_volumes, e)
+        dom.load("m_ss", "m_vdov", "m_arealg")
+
+        # -- CalcTimeConstraints: GPU reduces into a side buffer, CPU
+        #    copies the result into the domain scalars.
+        self._launch(K.calc_time_constraints, e, self._reduce)
+        constraints = self._reduce.read(0, 2)
+        if constraints is not None:
+            dom.write_scalar("dtcourant", float(constraints[0]))
+            dom.write_scalar("dthydro", float(constraints[1]))
+        else:
+            dom.write_scalar("dtcourant", 1e-5)
+            dom.write_scalar("dthydro", 1e-5)
+        rt.cpu_compute(4)
+
+        self.cycle += 1
+        if self.diagnose_each_step and self.session.tracer is not None:
+            self.diagnoses.append(diagnose(
+                self.session.tracer,
+                expand_object(self.dom, "dom"),
+                self.out,
+                include_unnamed=True,
+            ))
+
+    def run(self, iterations: int = 16) -> WorkloadRun:
+        """Run ``iterations`` timesteps; returns timing and diagnoses."""
+        start = self.session.platform.clock.now
+        for _ in range(iterations):
+            self.step()
+        return WorkloadRun(
+            name="lulesh",
+            variant=self.variant,
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            diagnoses=self.diagnoses,
+            stats={
+                "size": self.size,
+                "iterations": iterations,
+                "kernel_launches": self.session.runtime.kernel_launches,
+                **self.session.platform.events.summary(),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # verification helpers
+
+    def energy(self) -> float:
+        """Total element energy (functional runs only)."""
+        return float(self.dom.view("m_e").raw.sum())
+
+
+def run_lulesh(
+    size: int = 8,
+    iterations: int = 16,
+    *,
+    variant: str = "baseline",
+    platform: str = "intel-pascal",
+    trace: bool = False,
+    materialize: bool = False,
+    diagnose_each_step: bool = False,
+    out: IO[str] | None = None,
+) -> WorkloadRun:
+    """Convenience one-call LULESH run (timing regime by default)."""
+    session = make_session(platform, trace=trace, materialize=materialize)
+    app = Lulesh(session, size, variant=variant,
+                 diagnose_each_step=diagnose_each_step, out=out)
+    return app.run(iterations)

@@ -1,0 +1,20 @@
+"""Rodinia CUDA benchmarks (paper §IV-C, Table II, Figs 10-11)."""
+
+from .backprop import Backprop
+from .cfd import Cfd
+from .gaussian import Gaussian
+from .lud import Lud
+from .nn import NearestNeighbor
+from .pathfinder import Pathfinder, pathfinder_reference
+from .pathfinder_opt import OverlappedPathfinder
+
+__all__ = [
+    "Backprop",
+    "Cfd",
+    "Gaussian",
+    "Lud",
+    "NearestNeighbor",
+    "Pathfinder",
+    "pathfinder_reference",
+    "OverlappedPathfinder",
+]

@@ -1,0 +1,108 @@
+"""Rodinia Backprop (paper Table II).
+
+A two-layer neural-network training step.  The paper's findings, which
+this port reproduces structurally:
+
+* ``output_hidden_cuda`` is **allocated but never used**;
+* ``input_cuda`` is copied CPU->GPU and then **back to the CPU although
+  the GPU never modified it**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cudart import cudaMemcpyKind
+from ..base import Session, WorkloadRun
+
+__all__ = ["Backprop"]
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+_BLOCK = 256
+_HIDDEN = 16
+
+
+class Backprop:
+    """Backprop forward + weight-adjust pass on the simulated GPU."""
+
+    def __init__(self, session: Session, input_size: int = 65536,
+                 seed: int = 11) -> None:
+        if input_size < 1:
+            raise ValueError("input_size must be positive")
+        self.session = session
+        self.n = input_size
+        rng = np.random.default_rng(seed)
+        self.host_input = rng.random(self.n + 1, dtype=np.float32)
+        self.host_weights = rng.random((self.n + 1) * (_HIDDEN + 1),
+                                       dtype=np.float32)
+        rt = session.runtime
+        f4 = np.dtype(np.float32).itemsize
+        self.input_cuda = rt.malloc(f4 * (self.n + 1), label="input_cuda")
+        self.input_hidden_cuda = rt.malloc(
+            f4 * (self.n + 1) * (_HIDDEN + 1), label="input_hidden_cuda")
+        # The paper's first finding: allocated, then never touched.
+        self.output_hidden_cuda = rt.malloc(
+            f4 * (_HIDDEN + 1), label="output_hidden_cuda")
+        self.hidden_partial_sum = rt.malloc(
+            f4 * max(1, (self.n // _BLOCK)) * _HIDDEN, label="hidden_partial_sum")
+        self.input_prev_weights_cuda = rt.malloc(
+            f4 * (self.n + 1) * (_HIDDEN + 1), label="input_prev_weights_cuda")
+
+    def run(self) -> WorkloadRun:
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        n, f4 = self.n, 4
+
+        rt.memcpy(self.input_cuda, self.host_input, f4 * (n + 1), H2D)
+        rt.memcpy(self.input_hidden_cuda, self.host_weights,
+                  f4 * (n + 1) * (_HIDDEN + 1), H2D)
+        rt.memcpy(self.input_prev_weights_cuda,
+                  np.zeros((n + 1) * (_HIDDEN + 1), np.float32),
+                  f4 * (n + 1) * (_HIDDEN + 1), H2D)
+
+        iv = self.input_cuda.typed(np.float32)
+        wv = self.input_hidden_cuda.typed(np.float32)
+        pv = self.hidden_partial_sum.typed(np.float32)
+        dv = self.input_prev_weights_cuda.typed(np.float32)
+
+        def layerforward(ctx, inp, w, partial):
+            x = inp.read(0, len(inp))
+            weights = w.read(0, len(w))
+            if ctx.functional:
+                s = float(x.sum()) if x is not None else 0.0
+                partial.write(0, np.full(len(partial), s, np.float32))
+            else:
+                partial.write(0, None, hi=len(partial))
+
+        def adjust_weights(ctx, inp, w, prev):
+            inp.read(0, len(inp))
+            prev.read(0, len(prev))
+            old = w.read(0, len(w))
+            if ctx.functional:
+                w.write(0, old * np.float32(0.999))
+            else:
+                w.write(0, None, hi=len(w))
+
+        grid = max(1, -(-n // _BLOCK))
+        rt.launch(layerforward, grid, _BLOCK, iv, wv, pv,
+                  name="bpnn_layerforward", work=n * _HIDDEN)
+        rt.launch(adjust_weights, grid, _BLOCK, iv, wv, dv,
+                  name="bpnn_adjust_weights", work=n * _HIDDEN)
+
+        # The paper's second finding: input_cuda comes back although the
+        # GPU never wrote it.
+        back = np.empty(n + 1, np.float32)
+        rt.memcpy(back, self.input_cuda, f4 * (n + 1), D2H)
+        weights_back = np.empty((n + 1) * (_HIDDEN + 1), np.float32)
+        rt.memcpy(weights_back, self.input_hidden_cuda,
+                  f4 * (n + 1) * (_HIDDEN + 1), D2H)
+
+        return WorkloadRun(
+            name="backprop",
+            variant="baseline",
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            stats={"input_size": n,
+                   **self.session.platform.events.summary()},
+        )

@@ -1,0 +1,111 @@
+"""Rodinia CFD -- Euler3D solver (paper Table II: "no possible
+improvements identified").
+
+Structure: an unstructured-mesh flux computation where every array is
+fully streamed each iteration.  All transfers are used, everything the
+GPU writes is consumed -- the second clean benchmark for the detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cudart import cudaMemcpyKind
+from ..base import Session, WorkloadRun
+
+__all__ = ["Cfd"]
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+_BLOCK = 192
+_VARS = 5  # density, 3x momentum, energy
+
+
+class Cfd:
+    """Simplified Euler3D: per-cell flux accumulation + time integration."""
+
+    def __init__(self, session: Session, cells: int = 4096,
+                 iterations: int = 4, seed: int = 23) -> None:
+        if cells < 2:
+            raise ValueError("need at least two cells")
+        self.session = session
+        self.cells = cells
+        self.iterations = iterations
+        rng = np.random.default_rng(seed)
+        self.host_variables = (rng.random(_VARS * cells, dtype=np.float32)
+                               + np.float32(1.0))
+        rt = session.runtime
+        self.d_variables = rt.malloc(4 * _VARS * cells, label="variables")
+        self.d_old = rt.malloc(4 * _VARS * cells, label="old_variables")
+        self.d_fluxes = rt.malloc(4 * _VARS * cells, label="fluxes")
+        self.d_step = rt.malloc(4 * cells, label="step_factors")
+
+    def run(self) -> WorkloadRun:
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        n = self.cells
+        rt.memcpy(self.d_variables, self.host_variables, 4 * _VARS * n, H2D)
+        var = self.d_variables.typed(np.float32)
+        old = self.d_old.typed(np.float32)
+        flux = self.d_fluxes.typed(np.float32)
+        step = self.d_step.typed(np.float32)
+        grid = max(1, -(-n // _BLOCK))
+
+        def copy_kernel(ctx, src, dst):
+            data = src.read(0, len(src))
+            dst.write(0, data if ctx.functional else None,
+                      hi=None if ctx.functional else len(dst))
+
+        def step_factor(ctx, v, s):
+            data = v.read(0, _VARS * n)
+            if ctx.functional:
+                rho = data[:n]
+                s.write(0, (0.5 / np.sqrt(np.maximum(rho, 1e-6))).astype(np.float32))
+            else:
+                s.write(0, None, hi=n)
+
+        def compute_flux(ctx, v, f):
+            data = v.read(0, _VARS * n)
+            if ctx.functional:
+                rolled = np.roll(data.reshape(_VARS, n), 1, axis=1)
+                f.write(0, (0.1 * (rolled.ravel() - data)).astype(np.float32))
+            else:
+                f.write(0, None, hi=_VARS * n)
+
+        def time_step(ctx, v, o, f, s):
+            vd = v.read(0, _VARS * n)
+            od = o.read(0, _VARS * n)
+            fd = f.read(0, _VARS * n)
+            sd = s.read(0, n)
+            if ctx.functional:
+                factors = np.tile(sd, _VARS)
+                v.write(0, (od + factors * fd).astype(np.float32))
+            else:
+                v.write(0, None, hi=_VARS * n)
+
+        for _ in range(self.iterations):
+            rt.launch(copy_kernel, grid, _BLOCK, var, old,
+                      name="cuda_copy", work=_VARS * n)
+            rt.launch(step_factor, grid, _BLOCK, var, step,
+                      name="compute_step_factor", work=n)
+            rt.launch(compute_flux, grid, _BLOCK, var, flux,
+                      name="compute_flux", work=_VARS * n, ops_per_element=12.0)
+            rt.launch(time_step, grid, _BLOCK, var, old, flux, step,
+                      name="time_step", work=_VARS * n)
+
+        back = np.empty(_VARS * n, np.float32)
+        rt.memcpy(back, self.d_variables, 4 * _VARS * n, D2H)
+
+        return WorkloadRun(
+            name="cfd",
+            variant="baseline",
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            stats={
+                "cells": n,
+                "iterations": self.iterations,
+                "density_mean": float(back[:n].mean()) if rt.materialize
+                else float("nan"),
+                **self.session.platform.events.summary(),
+            },
+        )

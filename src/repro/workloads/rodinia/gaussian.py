@@ -1,0 +1,128 @@
+"""Rodinia Gaussian elimination (paper Table II).
+
+Finding reproduced: ``m_cuda`` (the multiplier matrix) is allocated on the
+CPU and transferred to the GPU, but **the GPU overwrites all transferred
+values before using them** -- the initial transfer can be eliminated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cudart import cudaMemcpyKind
+from ..base import Session, WorkloadRun
+
+__all__ = ["Gaussian"]
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+_BLOCK = 64
+
+
+class Gaussian:
+    """In-place Gaussian elimination ``a x = b`` on the simulated GPU."""
+
+    def __init__(self, session: Session, size: int = 64,
+                 *, eliminate_m_transfer: bool = False, seed: int = 5) -> None:
+        if size < 2:
+            raise ValueError("matrix size must be >= 2")
+        self.session = session
+        self.size = size
+        self.eliminate_m_transfer = eliminate_m_transfer
+        rng = np.random.default_rng(seed)
+        # Diagonally dominant => numerically stable without pivoting.
+        self.host_a = rng.random((size, size), dtype=np.float32) + \
+            np.eye(size, dtype=np.float32) * size
+        self.host_b = rng.random(size, dtype=np.float32)
+        rt = session.runtime
+        f4 = 4
+        self.a_cuda = rt.malloc(f4 * size * size, label="a_cuda")
+        self.b_cuda = rt.malloc(f4 * size, label="b_cuda")
+        self.m_cuda = rt.malloc(f4 * size * size, label="m_cuda")
+
+    def run(self) -> WorkloadRun:
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        s, f4 = self.size, 4
+
+        rt.memcpy(self.a_cuda, self.host_a, f4 * s * s, H2D)
+        rt.memcpy(self.b_cuda, self.host_b, f4 * s, H2D)
+        if not self.eliminate_m_transfer:
+            # The diagnosed waste: every one of these zeroes is overwritten
+            # by Fan1 before Fan2 reads it.
+            rt.memcpy(self.m_cuda, np.zeros(s * s, np.float32), f4 * s * s, H2D)
+
+        av = self.a_cuda.typed(np.float32)
+        bv = self.b_cuda.typed(np.float32)
+        mv = self.m_cuda.typed(np.float32)
+
+        def fan1(ctx, a, m, t: int):
+            """Compute column multipliers below the pivot row ``t``."""
+            rows = np.arange(t + 1, s, dtype=np.int64)
+            if len(rows) == 0:
+                return
+            pivot = a.gather(np.array([t * s + t]))
+            col = a.gather(rows * s + t)
+            if ctx.functional:
+                m.scatter(rows * s + t, col / pivot[0])
+            else:
+                m.scatter(rows * s + t)
+
+        def fan2(ctx, a, b, m, t: int):
+            """Eliminate column ``t`` from all lower rows."""
+            rows = np.arange(t + 1, s, dtype=np.int64)
+            if len(rows) == 0:
+                return
+            mult = m.gather(rows * s + t)
+            pivot_row = a.read(t * s, t * s + s)
+            pivot_b = b.gather(np.array([t], dtype=np.int64))
+            if ctx.functional:
+                block = a.read((t + 1) * s, s * s)
+                block = block.reshape(len(rows), s)
+                block -= np.outer(mult, pivot_row)
+                a.write((t + 1) * s, block.ravel())
+                old_b = b.gather(rows)
+                b.scatter(rows, old_b - mult * pivot_b[0])
+            else:
+                a.write((t + 1) * s, None, hi=s * s)
+                b.scatter(rows)
+
+        for t in range(s - 1):
+            rows = s - t - 1
+            grid = max(1, -(-rows // _BLOCK))
+            rt.launch(fan1, grid, _BLOCK, av, mv, t,
+                      name="Fan1", work=rows)
+            rt.launch(fan2, grid, _BLOCK, av, bv, mv, t,
+                      name="Fan2", work=rows * s)
+
+        back_a = np.empty(s * s, np.float32)
+        back_b = np.empty(s, np.float32)
+        rt.memcpy(back_a, self.a_cuda, f4 * s * s, D2H)
+        rt.memcpy(back_b, self.b_cuda, f4 * s, D2H)
+        x = self._back_substitute(back_a.reshape(s, s), back_b) \
+            if rt.materialize else None
+
+        return WorkloadRun(
+            name="gaussian",
+            variant="no_m_transfer" if self.eliminate_m_transfer else "baseline",
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            stats={
+                "size": s,
+                "residual": self._residual(x),
+                **self.session.platform.events.summary(),
+            },
+        )
+
+    def _back_substitute(self, U: np.ndarray, c: np.ndarray) -> np.ndarray:
+        self.session.runtime.cpu_compute(self.size ** 2)
+        x = np.zeros(self.size, np.float64)
+        for i in range(self.size - 1, -1, -1):
+            x[i] = (c[i] - U[i, i + 1:] @ x[i + 1:]) / U[i, i]
+        return x
+
+    def _residual(self, x: np.ndarray | None) -> float:
+        if x is None:
+            return float("nan")
+        return float(np.abs(self.host_a.astype(np.float64) @ x
+                            - self.host_b).max())

@@ -1,0 +1,74 @@
+"""Rodinia NN -- nearest neighbors (paper Table II: "no possible
+improvements identified").
+
+The clean benchmark: locations are copied in, every byte is used, the
+result vector is fully written by the GPU and copied out.  The detectors
+should stay silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cudart import cudaMemcpyKind
+from ..base import Session, WorkloadRun
+
+__all__ = ["NearestNeighbor"]
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+_BLOCK = 256
+
+
+class NearestNeighbor:
+    """Distance of every record to a query point, then a host top-k."""
+
+    def __init__(self, session: Session, records: int = 8192, k: int = 5,
+                 seed: int = 17) -> None:
+        if records < 1 or k < 1:
+            raise ValueError("records and k must be positive")
+        self.session = session
+        self.records = records
+        self.k = min(k, records)
+        rng = np.random.default_rng(seed)
+        self.host_locations = rng.random(2 * records, dtype=np.float32)
+        rt = session.runtime
+        self.d_locations = rt.malloc(4 * 2 * records, label="d_locations")
+        self.d_distances = rt.malloc(4 * records, label="d_distances")
+
+    def run(self, lat: float = 0.5, lng: float = 0.5) -> WorkloadRun:
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        n = self.records
+        rt.memcpy(self.d_locations, self.host_locations, 4 * 2 * n, H2D)
+        locs = self.d_locations.typed(np.float32)
+        dists = self.d_distances.typed(np.float32)
+
+        def euclid(ctx, loc, out):
+            xy = loc.read(0, 2 * n)
+            if ctx.functional:
+                pts = xy.reshape(n, 2)
+                d = np.sqrt((pts[:, 0] - lat) ** 2 + (pts[:, 1] - lng) ** 2)
+                out.write(0, d.astype(np.float32))
+            else:
+                out.write(0, None, hi=n)
+
+        rt.launch(euclid, max(1, -(-n // _BLOCK)), _BLOCK, locs, dists,
+                  name="euclid", work=n, ops_per_element=6.0)
+
+        back = np.empty(n, np.float32)
+        rt.memcpy(back, self.d_distances, 4 * n, D2H)
+        rt.cpu_compute(n)  # host-side top-k scan
+        nearest = np.argsort(back)[: self.k] if rt.materialize else None
+
+        return WorkloadRun(
+            name="nn",
+            variant="baseline",
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            stats={
+                "records": n,
+                "nearest": float(nearest[0]) if nearest is not None else float("nan"),
+                **self.session.platform.events.summary(),
+            },
+        )

@@ -1,0 +1,147 @@
+"""Rodinia Pathfinder (paper Table II, Figs 10 & 11).
+
+Dynamic programming over a ``rows x cols`` cost grid: each iteration a
+kernel advances the frontier by ``pyramid_height`` rows.  The memory
+behaviour the paper diagnoses: ``gpuWall`` is produced on the CPU and
+transferred to the GPU *in full* before computation begins, yet each
+kernel only reads its own slab -- with ``N`` iterations, only ``100/N %``
+of the array per iteration (Fig 10's access maps).
+
+:class:`Pathfinder` is the baseline; :class:`OverlappedPathfinder` in
+:mod:`.pathfinder_opt` transfers each slab just in time, overlapped with
+the previous kernel (Fig 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...analysis import Diagnosis, diagnose
+from ...cudart import cudaMemcpyKind
+from ...runtime import XplAllocData
+from ..base import Session, WorkloadRun
+
+__all__ = ["Pathfinder", "pathfinder_reference"]
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+_BLOCK = 256
+
+
+def pathfinder_reference(wall: np.ndarray) -> np.ndarray:
+    """Reference bottom-up DP result for the full wall (numpy)."""
+    result = wall[0].astype(np.int64)
+    for r in range(1, len(wall)):
+        left = np.concatenate(([result[0]], result[:-1]))
+        right = np.concatenate((result[1:], [result[-1]]))
+        result = wall[r] + np.minimum(result, np.minimum(left, right))
+    return result
+
+
+class Pathfinder:
+    """Baseline pathfinder: full upfront transfer of ``gpuWall``."""
+
+    variant = "baseline"
+
+    def __init__(self, session: Session, cols: int = 100_000, rows: int = 100,
+                 pyramid_height: int = 20,
+                 *, diagnose_each_iteration: bool = False, seed: int = 31) -> None:
+        if rows < 2 or cols < 1 or pyramid_height < 1:
+            raise ValueError("invalid pathfinder geometry")
+        self.session = session
+        self.cols = cols
+        self.rows = rows
+        self.pyramid_height = pyramid_height
+        self.diagnose_each_iteration = diagnose_each_iteration
+        self.diagnoses: list[Diagnosis] = []
+        rt = session.runtime
+        if rt.materialize:
+            rng = np.random.default_rng(seed)
+            self.host_wall = rng.integers(0, 10, (rows, cols), dtype=np.int32)
+        else:
+            self.host_wall = np.empty(0, np.int32)
+        # gpuWall holds rows 1..rows-1; row 0 seeds gpuResult.
+        self.gpuWall = rt.malloc(4 * (rows - 1) * cols, label="gpuWall")
+        self.gpuResult = [rt.malloc(4 * cols, label=f"gpuResult{i}")
+                          for i in range(2)]
+
+    @property
+    def iterations(self) -> int:
+        """Number of kernel launches."""
+        return -(-(self.rows - 1) // self.pyramid_height)
+
+    def descriptors(self) -> list[XplAllocData]:
+        return [XplAllocData(self.gpuWall.addr, "gpuWall", 4, self.gpuWall.alloc)]
+
+    # ------------------------------------------------------------------ #
+
+    def _dynproc_kernel(self, ctx, wall, src, dst, start_row: int, height: int):
+        """Advance the DP frontier over rows [start_row, start_row+height)."""
+        lo = (start_row - 1) * self.cols
+        hi = (start_row - 1 + height) * self.cols
+        slab = wall.read(lo, hi)
+        result = src.read(0, self.cols)
+        if ctx.functional:
+            res = result.astype(np.int64)
+            rows = slab.reshape(height, self.cols)
+            for r in range(height):
+                left = np.concatenate(([res[0]], res[:-1]))
+                right = np.concatenate((res[1:], [res[-1]]))
+                res = rows[r] + np.minimum(res, np.minimum(left, right))
+            dst.write(0, np.clip(res, np.iinfo(np.int32).min,
+                                 np.iinfo(np.int32).max).astype(np.int32))
+        else:
+            dst.write(0, None, hi=self.cols)
+
+    def _transfer_in(self) -> None:
+        rt = self.session.runtime
+        rt.memcpy(self.gpuWall,
+                  self.host_wall[1:].ravel() if rt.materialize else None,
+                  4 * (self.rows - 1) * self.cols, H2D)
+        rt.memcpy(self.gpuResult[0],
+                  self.host_wall[0] if rt.materialize else None,
+                  4 * self.cols, H2D)
+
+    def run(self) -> WorkloadRun:
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        self._transfer_in()
+        wall_v = self.gpuWall.typed(np.int32)
+        res_v = [p.typed(np.int32) for p in self.gpuResult]
+        grid = max(1, -(-self.cols // _BLOCK))
+
+        src, dst = 0, 1
+        row = 1
+        while row < self.rows:
+            height = min(self.pyramid_height, self.rows - row)
+            rt.launch(self._dynproc_kernel, grid, _BLOCK,
+                      wall_v, res_v[src], res_v[dst], row, height,
+                      name="dynproc_kernel", work=height * self.cols,
+                      ops_per_element=1.0)
+            if self.diagnose_each_iteration and self.session.tracer is not None:
+                self.diagnoses.append(diagnose(
+                    self.session.tracer, self.descriptors(),
+                    min_transfer_block_words=self.cols // 8))
+            src, dst = dst, src
+            row += height
+
+        back = np.empty(self.cols, np.int32)
+        rt.memcpy(back, self.gpuResult[src], 4 * self.cols, D2H)
+        return WorkloadRun(
+            name="pathfinder",
+            variant=self.variant,
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            diagnoses=self.diagnoses,
+            stats={
+                "cols": self.cols, "rows": self.rows,
+                "pyramid_height": self.pyramid_height,
+                "checksum": float(back.sum()) if rt.materialize else float("nan"),
+                **self.session.platform.events.summary(),
+            },
+        )
+
+    def result(self) -> np.ndarray:
+        """Final DP row (functional runs; after :meth:`run`)."""
+        src = 0 if self.iterations % 2 == 0 else 1
+        return self.gpuResult[src].typed(np.int32).raw.copy()

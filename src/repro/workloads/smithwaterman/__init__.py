@@ -1,0 +1,14 @@
+"""Smith-Waterman workload (paper §IV-B): baseline and rotated variants."""
+
+from .rotated import RotatedSmithWaterman
+from .sw import GAP, MATCH, MISMATCH, SmithWaterman, random_strings, sw_reference
+
+__all__ = [
+    "GAP",
+    "MATCH",
+    "MISMATCH",
+    "SmithWaterman",
+    "RotatedSmithWaterman",
+    "random_strings",
+    "sw_reference",
+]

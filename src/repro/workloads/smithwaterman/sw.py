@@ -1,0 +1,196 @@
+"""Smith-Waterman local alignment on the simulated GPU (paper §IV-B).
+
+The examined implementation allocates storage for the two input strings
+and the score (``H``) and path (``P``) matrices with ``cudaMallocManaged``,
+transfers the strings in, zeroes the matrices on the CPU, and then sweeps
+anti-diagonals with one GPU kernel launch per wavefront.
+
+The memory behaviour the paper diagnoses:
+
+* the CPU initializes the **entire** H matrix, but only the boundary
+  zeroes are ever read (Fig 7);
+* each wavefront iteration touches one matrix cell per row -- scattered
+  across pages, so "only three memory locations that are contiguous in
+  memory are accessed in each iteration" is violated and large data sets
+  page-fault heavily (Fig 8);
+* data sets exceeding GPU memory fall off a performance cliff (the
+  46000-character result in Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...analysis import Diagnosis, diagnose
+from ...cudart import cudaMemcpyKind
+from ...runtime import XplAllocData
+from ..base import Session, WorkloadRun
+
+__all__ = ["SmithWaterman", "sw_reference", "MATCH", "MISMATCH", "GAP"]
+
+MATCH, MISMATCH, GAP = 3, -3, -2
+_BLOCK = 128
+_ALPHABET = 4  # ACGT as 0..3
+
+
+def sw_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference Smith-Waterman score matrix (numpy, (n+1) x (m+1))."""
+    n, m = len(a), len(b)
+    H = np.zeros((n + 1, m + 1), dtype=np.int32)
+    for i in range(1, n + 1):
+        match = np.where(b == a[i - 1], MATCH, MISMATCH)
+        for j in range(1, m + 1):
+            H[i, j] = max(
+                0,
+                H[i - 1, j - 1] + match[j - 1],
+                H[i - 1, j] + GAP,
+                H[i, j - 1] + GAP,
+            )
+    return H
+
+
+def random_strings(n: int, m: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic pseudo-random molecular strings as uint8 codes."""
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, _ALPHABET, n, dtype=np.uint8),
+            rng.integers(0, _ALPHABET, m, dtype=np.uint8))
+
+
+@dataclass
+class _SwState:
+    n: int
+    m: int
+    width: int  # row stride of H/P in elements
+
+
+class SmithWaterman:
+    """Baseline (row-major, anti-diagonal wavefront) Smith-Waterman."""
+
+    variant = "baseline"
+
+    def __init__(self, session: Session, n: int, m: int | None = None,
+                 *, diagnose_each_iteration: bool = False, seed: int = 7) -> None:
+        if n < 1:
+            raise ValueError("string length must be positive")
+        self.session = session
+        self.n = n
+        self.m = m if m is not None else n
+        self.diagnose_each_iteration = diagnose_each_iteration
+        self.diagnoses: list[Diagnosis] = []
+        rt = session.runtime
+
+        self.host_a, self.host_b = random_strings(n, self.m, seed)
+        self.a = rt.malloc_managed(max(n, 1), label="a")
+        self.b = rt.malloc_managed(max(self.m, 1), label="b")
+        width = self.m + 1
+        cells = (n + 1) * width
+        self.H = rt.malloc_managed(4 * cells, label="H")
+        self.P = rt.malloc_managed(4 * cells, label="P")
+        self.geom = _SwState(n, self.m, width)
+        self._setup()
+
+    # ------------------------------------------------------------------ #
+
+    def _setup(self) -> None:
+        """Transfer inputs and zero the matrices from the CPU."""
+        rt = self.session.runtime
+        rt.memcpy(self.a, self.host_a, self.n,
+                  cudaMemcpyKind.cudaMemcpyHostToDevice)
+        rt.memcpy(self.b, self.host_b, self.m,
+                  cudaMemcpyKind.cudaMemcpyHostToDevice)
+        # The anti-pattern: the CPU zeroes out *all* of H and P although
+        # only the boundary zeroes will ever be read.
+        hv = self.H.typed(np.int32)
+        pv = self.P.typed(np.int32)
+        hv.fill(0)
+        pv.fill(0)
+        rt.cpu_compute(len(hv) + len(pv))
+
+    def descriptors(self) -> list[XplAllocData]:
+        """Named allocations for diagnostics."""
+        return [
+            XplAllocData(self.a.addr, "a", 1, self.a.alloc),
+            XplAllocData(self.b.addr, "b", 1, self.b.alloc),
+            XplAllocData(self.H.addr, "H", 4, self.H.alloc),
+            XplAllocData(self.P.addr, "P", 4, self.P.alloc),
+        ]
+
+    def _diag_cells(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row/col indices (1-based) of wavefront ``k`` (k = i + j)."""
+        i_lo = max(1, k - self.m)
+        i_hi = min(self.n, k - 1)
+        i = np.arange(i_lo, i_hi + 1, dtype=np.int64)
+        return i, k - i
+
+    def _wavefront_kernel(self, ctx, hv, pv, av, bv, k: int) -> None:
+        i, j = self._diag_cells(k)
+        w = self.geom.width
+        a_codes = av.gather(i - 1)
+        b_codes = bv.gather(j - 1)
+        up_left = hv.gather((i - 1) * w + (j - 1))
+        up = hv.gather((i - 1) * w + j)
+        left = hv.gather(i * w + (j - 1))
+        if ctx.functional:
+            match = np.where(a_codes == b_codes, MATCH, MISMATCH)
+            best = np.maximum.reduce([
+                np.zeros(len(i), dtype=np.int64),
+                up_left.astype(np.int64) + match,
+                up.astype(np.int64) + GAP,
+                left.astype(np.int64) + GAP,
+            ])
+            direction = np.argmax(np.stack([
+                np.zeros(len(i), dtype=np.int64),
+                up_left.astype(np.int64) + match,
+                up.astype(np.int64) + GAP,
+                left.astype(np.int64) + GAP,
+            ]), axis=0)
+            hv.scatter(i * w + j, best.astype(np.int32))
+            pv.scatter(i * w + j, direction.astype(np.int32))
+        else:
+            hv.scatter(i * w + j)
+            pv.scatter(i * w + j)
+
+    def run(self) -> WorkloadRun:
+        """Sweep all anti-diagonals, then score lookup on the CPU."""
+        rt = self.session.runtime
+        start = self.session.platform.clock.now
+        hv = self.H.typed(np.int32)
+        pv = self.P.typed(np.int32)
+        av = self.a.typed(np.uint8)
+        bv = self.b.typed(np.uint8)
+        for k in range(2, self.n + self.m + 1):
+            cells = len(self._diag_cells(k)[0])
+            grid = max(1, -(-cells // _BLOCK))
+            rt.launch(self._wavefront_kernel, grid, _BLOCK,
+                      hv, pv, av, bv, k,
+                      name="sw_wavefront", work=cells, ops_per_element=12.0)
+            if self.diagnose_each_iteration and self.session.tracer is not None:
+                self.diagnoses.append(diagnose(
+                    self.session.tracer, self.descriptors()))
+        score = self._final_score(hv)
+        return WorkloadRun(
+            name="smithwaterman",
+            variant=self.variant,
+            platform=self.session.platform.name,
+            sim_time=self.session.platform.clock.now - start,
+            diagnoses=self.diagnoses,
+            stats={
+                "n": self.n, "m": self.m, "score": score,
+                **self.session.platform.events.summary(),
+            },
+        )
+
+    def _final_score(self, hv) -> float:
+        """CPU reads the last row to report the best local score."""
+        w = self.geom.width
+        last_row = hv.read(self.n * w, self.n * w + w)
+        self.session.runtime.cpu_compute(w)
+        if last_row is None:
+            return float("nan")
+        return float(self.score_matrix().max())
+
+    def score_matrix(self) -> np.ndarray:
+        """The H matrix as (n+1, m+1) -- functional runs only, untraced."""
+        return self.H.typed(np.int32).raw.reshape(self.n + 1, self.geom.width)

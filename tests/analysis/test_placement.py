@@ -1,0 +1,146 @@
+"""Tests for the automatic placement advisor (diagnose -> fix loop)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    apply_plan,
+    diagnose,
+    recommend_placement,
+)
+from repro.cudart import CudaRuntime, cudaMemoryAdvise
+from repro.memsim import CPU_DEVICE_ID, GPU_DEVICE_ID, Processor, intel_pascal
+from repro.runtime import Tracer
+from repro.workloads.base import make_session
+from repro.workloads.lulesh import Lulesh
+
+A = cudaMemoryAdvise
+
+
+@pytest.fixture
+def setup():
+    rt = CudaRuntime(intel_pascal())
+    tracer = Tracer().attach(rt)
+    return rt, tracer
+
+
+def gpu_read(rt, view):
+    rt.launch(lambda ctx, v: v.read(0, len(v)), 4, 64, view, name="r")
+
+
+def gpu_write(rt, view):
+    rt.launch(lambda ctx, v: v.write(0, None, hi=len(v)), 4, 64, view, name="w")
+
+
+class TestRules:
+    def test_read_shared_gets_read_mostly(self, setup):
+        rt, tracer = setup
+        v = rt.malloc_managed(4096, label="table").typed(np.float32)
+        v.write(0, np.ones(len(v), np.float32))  # one-off CPU init
+        diagnose(tracer)  # close the initialization epoch
+        for _ in range(20):
+            gpu_read(rt, v)
+            v.read(0, len(v))
+        # Steady state: shared, read-only -> ReadMostly.
+        plan = recommend_placement(diagnose(tracer))
+        advices = [a.advice for a in plan.for_allocation("table")]
+        assert advices == [A.cudaMemAdviseSetReadMostly]
+
+    def test_write_heavy_shared_gets_pin_plus_mapping(self, setup):
+        rt, tracer = setup
+        v = rt.malloc_managed(4096, label="frame").typed(np.float32)
+        for _ in range(4):
+            v.write(0, np.ones(len(v), np.float32))  # CPU rewrites
+            gpu_read(rt, v)
+        plan = recommend_placement(diagnose(tracer))
+        actions = plan.for_allocation("frame")
+        kinds = {(a.advice, a.device_id) for a in actions}
+        assert (A.cudaMemAdviseSetPreferredLocation, CPU_DEVICE_ID) in kinds
+        assert (A.cudaMemAdviseSetAccessedBy, GPU_DEVICE_ID) in kinds
+
+    def test_gpu_exclusive_gets_gpu_pin(self, setup):
+        rt, tracer = setup
+        v = rt.malloc_managed(4096, label="scratch").typed(np.float32)
+        gpu_write(rt, v)
+        gpu_read(rt, v)
+        plan = recommend_placement(diagnose(tracer))
+        actions = plan.for_allocation("scratch")
+        assert [(a.advice, a.device_id) for a in actions] == [
+            (A.cudaMemAdviseSetPreferredLocation, GPU_DEVICE_ID)]
+
+    def test_untouched_allocation_left_alone(self, setup):
+        rt, tracer = setup
+        rt.malloc_managed(4096, label="cold")
+        plan = recommend_placement(diagnose(tracer))
+        assert plan.for_allocation("cold") == []
+
+    def test_device_memory_not_advised(self, setup):
+        rt, tracer = setup
+        d = rt.malloc(4096, label="dev")
+        gpu_write(rt, d.typed(np.float32))
+        plan = recommend_placement(diagnose(tracer))
+        assert plan.for_allocation("dev") == []
+
+    def test_plan_summary_readable(self, setup):
+        rt, tracer = setup
+        v = rt.malloc_managed(4096, label="x").typed(np.float32)
+        gpu_write(rt, v)
+        plan = recommend_placement(diagnose(tracer))
+        assert "SetPreferredLocation" in plan.summary()
+        assert "x" in plan.summary()
+
+
+class TestApply:
+    def test_apply_issues_advise_calls(self, setup):
+        rt, tracer = setup
+        v = rt.malloc_managed(4096, label="x").typed(np.float32)
+        gpu_write(rt, v)
+        plan = recommend_placement(diagnose(tracer))
+        issued = apply_plan(rt, plan)
+        assert issued == len(plan) >= 1
+        st = rt.platform.um.state_of(v.alloc)
+        assert (st.preferred == int(Processor.GPU)).all()
+
+    def test_freed_allocations_skipped(self, setup):
+        rt, tracer = setup
+        p = rt.malloc_managed(4096, label="x")
+        p.typed(np.float32).write(0, np.ones(1024, np.float32))
+        d = diagnose(tracer)
+        plan = recommend_placement(d)
+        rt.free(p)
+        assert apply_plan(rt, plan) == 0
+
+
+class TestClosedLoopOnLulesh:
+    def test_recommendations_speed_up_the_baseline(self):
+        """The headline: diagnose LULESH, apply the advisor's plan, and the
+        re-run beats the untreated baseline on the PCIe platform."""
+        size, iters = 16, 12
+
+        def timed(plan_from_diagnosis: bool) -> float:
+            session = make_session("intel-pascal", trace=True,
+                                   materialize=False)
+            app = Lulesh(session, size)
+            app.run(2)  # warm-up epoch to observe behaviour
+            if plan_from_diagnosis:
+                d = diagnose(session.tracer)
+                plan = recommend_placement(d)
+                assert plan.for_allocation("dom"), "dom must get advice"
+                apply_plan(session.runtime, plan)
+            session.tracer.detach()  # measure without tracing overhead
+            t0 = session.platform.clock.now
+            app.run(iters)
+            return session.platform.clock.now - t0
+
+        untreated = timed(False)
+        treated = timed(True)
+        assert treated < untreated * 0.8
+
+    def test_dom_rule_is_pin_at_cpu_with_gpu_mapping(self):
+        session = make_session("intel-pascal", trace=True, materialize=False)
+        app = Lulesh(session, 8)
+        app.run(2)
+        plan = recommend_placement(diagnose(session.tracer))
+        advices = {(a.advice, a.device_id) for a in plan.for_allocation("dom")}
+        assert (A.cudaMemAdviseSetPreferredLocation, CPU_DEVICE_ID) in advices
+        assert (A.cudaMemAdviseSetAccessedBy, GPU_DEVICE_ID) in advices

@@ -1,0 +1,277 @@
+"""Unit tests for the simulated CUDA runtime API."""
+
+import numpy as np
+import pytest
+
+from repro.cudart import (
+    CudaError,
+    CudaRuntime,
+    ObserverBase,
+    cudaError_t,
+    cudaMemcpyKind,
+    cudaMemoryAdvise,
+)
+from repro.memsim import EventKind, MemoryKind, Processor, intel_pascal, power9_volta
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+
+
+@pytest.fixture
+def rt():
+    return CudaRuntime(intel_pascal())
+
+
+class Recorder(ObserverBase):
+    """Observer that remembers everything it sees."""
+
+    def __init__(self):
+        self.allocs, self.frees, self.accesses = [], [], []
+        self.memcpys, self.launches, self.advices = [], [], []
+
+    def on_alloc(self, alloc):
+        self.allocs.append(alloc)
+
+    def on_free(self, alloc):
+        self.frees.append(alloc)
+
+    def on_access(self, proc, alloc, off, esz, count, is_write, indices, is_rmw):
+        self.accesses.append((proc, alloc, off, esz, count, is_write, is_rmw))
+
+    def on_memcpy(self, dst, dst_off, src, src_off, nbytes, kind):
+        self.memcpys.append((dst, src, nbytes, kind))
+
+    def on_kernel_launch(self, name, grid, block):
+        self.launches.append((name, grid, block))
+
+    def on_advice(self, alloc, advice, off, nbytes, device_id):
+        self.advices.append((alloc, advice, nbytes, device_id))
+
+
+class TestAllocation:
+    def test_malloc_kinds(self, rt):
+        assert rt.malloc(64).alloc.kind is MemoryKind.DEVICE
+        assert rt.malloc_managed(64).alloc.kind is MemoryKind.MANAGED
+        assert rt.host_malloc(64).alloc.kind is MemoryKind.HOST
+
+    def test_zero_size_raises_cuda_error(self, rt):
+        with pytest.raises(CudaError) as e:
+            rt.malloc(0)
+        assert e.value.code is cudaError_t.cudaErrorInvalidValue
+
+    def test_oom_raises_memory_allocation(self):
+        rt = CudaRuntime(intel_pascal(gpu_memory_bytes=1 << 20))
+        with pytest.raises(CudaError) as e:
+            rt.malloc(1 << 21)
+        assert e.value.code is cudaError_t.cudaErrorMemoryAllocation
+
+    def test_free_interior_pointer_rejected(self, rt):
+        p = rt.malloc_managed(4096 * 2)
+        with pytest.raises(CudaError):
+            rt.free(p + 4096)
+
+    def test_observers_see_alloc_and_free(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        p = rt.malloc_managed(64, label="x")
+        rt.free(p)
+        assert rec.allocs[0].label == "x"
+        assert rec.frees[0] is p.alloc
+
+
+class TestMemcpy:
+    def test_h2d_copies_data_and_charges_link(self, rt):
+        d = rt.malloc(4 * 100)
+        host = np.arange(100, dtype=np.int32)
+        t0 = rt.platform.clock.now
+        rt.memcpy(d, host, 400, H2D)
+        assert rt.platform.clock.now > t0
+        assert list(d.alloc.data.view(np.int32)[:5]) == [0, 1, 2, 3, 4]
+
+    def test_d2h_roundtrip(self, rt):
+        d = rt.malloc(4 * 10)
+        src = np.arange(10, dtype=np.int32)
+        back = np.zeros(10, dtype=np.int32)
+        rt.memcpy(d, src, 40, H2D)
+        rt.memcpy(back, d, 40, D2H)
+        assert (back == src).all()
+
+    def test_wrong_direction_rejected(self, rt):
+        d = rt.malloc(64)
+        host = np.zeros(64, np.uint8)
+        with pytest.raises(CudaError) as e:
+            rt.memcpy(host, d, 64, H2D)  # claims H2D but copies D->H
+        assert e.value.code is cudaError_t.cudaErrorInvalidMemcpyDirection
+
+    def test_managed_endpoint_legal_either_side(self, rt):
+        m = rt.malloc_managed(64)
+        host = np.zeros(64, np.uint8)
+        rt.memcpy(m, host, 64, H2D)
+        rt.memcpy(host, m, 64, D2H)
+
+    def test_memcpy_to_managed_faults_pages_back_to_cpu(self, rt):
+        m = rt.malloc_managed(4096)
+        v = m.typed(np.float32)
+
+        def k(ctx, view):
+            view.write(0, None, hi=len(view))
+
+        rt.launch(k, 1, 32, v)
+        assert rt.platform.um.state_of(m.alloc).present[Processor.GPU, 0]
+        rt.memcpy(m, np.zeros(4096, np.uint8), 4096, H2D)
+        assert rt.platform.um.state_of(m.alloc).present[Processor.CPU, 0]
+
+    def test_observer_sees_memcpy(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        d = rt.malloc(64)
+        rt.memcpy(d, np.zeros(64, np.uint8), 64, H2D)
+        dst, src, nbytes, kind = rec.memcpys[0]
+        assert dst is d.alloc and src is None and nbytes == 64 and kind is H2D
+
+    def test_oversized_memcpy_rejected(self, rt):
+        d = rt.malloc(64)
+        with pytest.raises(CudaError):
+            rt.memcpy(d, np.zeros(128, np.uint8), 128, H2D)
+
+    def test_zero_byte_memcpy_is_noop(self, rt):
+        d = rt.malloc(64)
+        t0 = rt.platform.clock.now
+        assert rt.memcpy(d, np.zeros(1, np.uint8), 0, H2D) is cudaError_t.cudaSuccess
+        assert rt.platform.clock.now == t0
+
+
+class TestAdvise:
+    def test_advise_requires_managed(self, rt):
+        d = rt.malloc(4096)
+        with pytest.raises(CudaError):
+            rt.mem_advise(d, 4096, cudaMemoryAdvise.cudaMemAdviseSetReadMostly)
+
+    def test_read_mostly_duplicates_on_gpu_read(self, rt):
+        m = rt.malloc_managed(4096)
+        v = m.typed(np.float64)
+        v.write(0, np.ones(len(v)))  # CPU first touch
+        rt.mem_advise(m, 4096, cudaMemoryAdvise.cudaMemAdviseSetReadMostly)
+
+        def k(ctx, view):
+            view.read(0, len(view))
+
+        rt.launch(k, 1, 32, v)
+        st = rt.platform.um.state_of(m.alloc)
+        assert st.present[Processor.CPU, 0] and st.present[Processor.GPU, 0]
+
+    def test_preferred_location_cpu_keeps_data_home(self, rt):
+        m = rt.malloc_managed(4096)
+        v = m.typed(np.float64)
+        v.write(0, np.ones(len(v)))
+        rt.mem_advise(m, 4096, cudaMemoryAdvise.cudaMemAdviseSetPreferredLocation,
+                      device_id=-1)
+
+        def k(ctx, view):
+            view.read(0, len(view))
+
+        rt.launch(k, 4, 32, v)
+        st = rt.platform.um.state_of(m.alloc)
+        assert st.present[Processor.CPU, 0] and not st.present[Processor.GPU, 0]
+
+    def test_observer_sees_advice(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        m = rt.malloc_managed(4096)
+        rt.mem_advise(m, 4096, cudaMemoryAdvise.cudaMemAdviseSetAccessedBy, device_id=0)
+        assert rec.advices[0][1] is cudaMemoryAdvise.cudaMemAdviseSetAccessedBy
+
+    def test_prefetch_moves_pages(self, rt):
+        m = rt.malloc_managed(4096 * 4)
+        v = m.typed(np.float64)
+        v.write(0, np.zeros(len(v)))
+        rt.mem_prefetch(m, 4096 * 4, device_id=0)
+        st = rt.platform.um.state_of(m.alloc)
+        assert st.present[Processor.GPU].all()
+
+
+class TestKernelLaunch:
+    def test_kernel_accesses_attributed_to_gpu(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        v = rt.malloc_managed(4096).typed(np.float32)
+
+        def saxpy(ctx, x):
+            x.write(0, np.ones(len(x), np.float32))
+
+        rt.launch(saxpy, 8, 128, v)
+        procs = {a[0] for a in rec.accesses}
+        assert procs == {Processor.GPU}
+        assert rec.launches == [("saxpy", 8, 128)]
+
+    def test_launch_advances_clock_by_compute_plus_memory(self, rt):
+        v = rt.malloc_managed(1 << 16).typed(np.float32)
+        v.write(0, np.zeros(len(v), np.float32))  # CPU touch => GPU will fault
+        t0 = rt.platform.clock.now
+
+        def k(ctx, x):
+            x.read(0, len(x))
+
+        rt.launch(k, 64, 256, v, work=len(v))
+        elapsed = rt.platform.clock.now - t0
+        compute = rt.platform.gpu.compute_time(len(v))
+        assert elapsed > compute  # migration cost came on top
+
+    def test_host_accesses_outside_kernel_are_cpu(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        v = rt.malloc_managed(64).typed(np.float64)
+        v.write(0, np.zeros(len(v)))
+        assert rec.accesses[0][0] is Processor.CPU
+
+    def test_stream_launch_defers_time(self, rt):
+        v = rt.malloc_managed(4096).typed(np.float32)
+        s = rt.new_stream()
+        rt.launch(lambda ctx, x: x.write(0, None, hi=len(x)), 1, 32, v,
+                  name="k", stream=s)
+        t_before_sync = rt.platform.clock.now
+        rt.device_synchronize()
+        assert rt.platform.clock.now > t_before_sync
+
+    def test_invalid_launch_config(self, rt):
+        with pytest.raises(ValueError):
+            rt.launch(lambda ctx: None, 0, 32)
+
+    def test_nested_context_restored_after_kernel_error(self, rt):
+        def bad(ctx):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            rt.launch(bad, 1, 1)
+        assert rt.current_proc is Processor.CPU
+
+
+class TestRmwObservation:
+    def test_rmw_published_once_with_flag(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        v = rt.malloc_managed(4 * 8).typed(np.int32)
+        v.rmw(0, 8, lambda x: x + 1)
+        kinds = [(a[5], a[6]) for a in rec.accesses]  # (is_write, is_rmw)
+        assert kinds == [(True, True)]
+
+
+class TestMemset:
+    def test_memset_fills(self, rt):
+        d = rt.malloc(64)
+        rt.memset(d, 0xAB, 64)
+        assert (d.alloc.data == 0xAB).all()
+
+
+class TestNvlinkPlatformIntegration:
+    def test_thrash_is_cheaper_on_power9(self):
+        def run(platform):
+            rt = CudaRuntime(platform)
+            v = rt.malloc_managed(4096).typed(np.float64)
+            v.write(0, np.zeros(len(v)))
+            for _ in range(10):
+                rt.launch(lambda ctx, x: x.read(0, len(x)), 32, 128, v, name="r")
+                v.write(0, np.zeros(4))
+            return rt.platform.clock.now
+
+        assert run(intel_pascal()) > run(power9_volta())

@@ -1,0 +1,104 @@
+"""Tests for the CUPTI-style kernel profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cudart import CudaRuntime, KernelProfiler
+from repro.memsim import intel_pascal
+from repro.workloads.base import make_session
+from repro.workloads.lulesh import Lulesh
+
+
+@pytest.fixture
+def setup():
+    rt = CudaRuntime(intel_pascal())
+    profiler = KernelProfiler(rt.platform)
+    rt.subscribe(profiler)
+    return rt, profiler
+
+
+class TestAttribution:
+    def test_fault_storm_attributed_to_the_faulting_kernel(self, setup):
+        rt, prof = setup
+        v = rt.malloc_managed(4 * 4096, label="x").typed(np.float32)
+        v.write(0, np.zeros(len(v), np.float32))  # CPU-resident pages
+
+        rt.launch(lambda ctx, d: d.read(0, len(d)), 8, 128, v, name="reader")
+        rt.launch(lambda ctx, d: d.read(0, len(d)), 8, 128, v, name="rereader")
+
+        reader = next(p for p in prof.profiles if p.name == "reader")
+        rereader = next(p for p in prof.profiles if p.name == "rereader")
+        assert reader.fault_groups >= 1
+        assert reader.migrated_pages == 4
+        assert rereader.fault_groups == 0   # pages already resident
+        assert rereader.migrated_pages == 0
+
+    def test_memory_fraction_bounded(self, setup):
+        rt, prof = setup
+        v = rt.malloc_managed(4096, label="x").typed(np.float32)
+        v.write(0, np.zeros(len(v), np.float32))
+        rt.launch(lambda ctx, d: d.read(0, len(d)), 1, 32, v, name="k")
+        p = prof.profiles[0]
+        assert 0.0 <= p.memory_fraction <= 1.0
+        assert p.duration >= p.memory_time
+
+    def test_launch_metadata_recorded(self, setup):
+        rt, prof = setup
+        rt.launch(lambda ctx: None, 3, 64, name="noop")
+        p = prof.profiles[0]
+        assert (p.name, p.grid, p.block, p.launch_index) == ("noop", 3, 64, 1)
+
+    def test_aggregation_and_hotspots(self, setup):
+        rt, prof = setup
+        v = rt.malloc_managed(4 * 4096, label="x").typed(np.float32)
+        for i in range(3):
+            v.write(0, np.zeros(len(v), np.float32))   # CPU dirties pages
+            rt.launch(lambda ctx, d: d.read(0, len(d)), 8, 128, v, name="hot")
+        rt.launch(lambda ctx: None, 1, 32, name="cold")
+        agg = prof.by_kernel()
+        assert agg["hot"]["launches"] == 3
+        assert agg["hot"]["fault_groups"] >= 3
+        assert prof.hotspots(1)[0][0] == "hot"
+        assert "hot" in prof.report()
+
+    def test_reset(self, setup):
+        rt, prof = setup
+        rt.launch(lambda ctx: None, 1, 1, name="k")
+        prof.reset()
+        assert prof.profiles == []
+
+
+class TestOnLulesh:
+    def test_profiler_pinpoints_the_domain_faulting_kernels(self):
+        """The paper's proposed use: per-kernel fault counts reveal which
+        launches trip over the shared domain object."""
+        session = make_session("intel-pascal", trace=False, materialize=False)
+        prof = KernelProfiler(session.platform)
+        session.runtime.subscribe(prof)
+        app = Lulesh(session, 8)
+        app.run(1)        # warm-up: one-time array migrations
+        prof.reset()
+        app.run(3)        # steady state
+
+        agg = prof.by_kernel()
+        # The first kernel after each CPU write phase keeps faulting on
+        # the domain page...
+        assert agg["calc_force_for_nodes"]["fault_groups"] >= 3
+        # ...while kernels launched back-to-back on the GPU stay quiet.
+        assert agg["calc_position_for_nodes"]["fault_groups"] == 0
+
+    def test_duplicate_variant_quiets_the_profiler(self):
+        def steady_faults(variant):
+            session = make_session("intel-pascal", trace=False,
+                                   materialize=False)
+            prof = KernelProfiler(session.platform)
+            session.runtime.subscribe(prof)
+            app = Lulesh(session, 8, variant=variant)
+            app.run(1)
+            prof.reset()
+            app.run(3)
+            return sum(p.fault_groups for p in prof.profiles)
+
+        # The duplicate-domain fix removes the struct-page storms; only
+        # the per-timestep temporaries' first-touch faults remain.
+        assert steady_faults("duplicate") < 0.7 * steady_faults("baseline")

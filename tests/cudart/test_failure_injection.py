@@ -1,0 +1,123 @@
+"""Failure-injection tests: the runtime under abuse and resource pressure."""
+
+import numpy as np
+import pytest
+
+from repro.cudart import CudaError, CudaRuntime, cudaError_t, cudaMemoryAdvise
+from repro.memsim import PAGE_SIZE, Processor, intel_pascal
+from repro.runtime import Tracer, trace_print
+
+
+class TestGpuMemoryExhaustion:
+    def test_cuda_malloc_oom_is_recoverable(self):
+        rt = CudaRuntime(intel_pascal(gpu_memory_bytes=8 * PAGE_SIZE))
+        keep = rt.malloc(4 * PAGE_SIZE, label="half")
+        with pytest.raises(CudaError) as err:
+            rt.malloc(5 * PAGE_SIZE, label="toomuch")
+        assert err.value.code is cudaError_t.cudaErrorMemoryAllocation
+        # The failed allocation must not leak tracked state.
+        rt.free(keep)
+        rt.malloc(8 * PAGE_SIZE, label="retry")  # now it fits
+
+    def test_managed_oversubscription_survives_via_eviction(self):
+        rt = CudaRuntime(intel_pascal(gpu_memory_bytes=8 * PAGE_SIZE),
+                         materialize=False)
+        views = [rt.malloc_managed(4 * PAGE_SIZE, label=f"m{i}").typed(np.float32)
+                 for i in range(4)]  # 16 pages of managed vs 8 of GPU memory
+        for v in views:
+            rt.launch(lambda ctx, d: d.write(0, None, hi=len(d)),
+                      2, 128, v, name="w")
+        assert rt.platform.um.gpu_pages_in_use <= 8
+        # Everything remains accessible afterwards.
+        for v in views:
+            rt.launch(lambda ctx, d: d.read(0, len(d)), 2, 128, v, name="r")
+
+    def test_pinned_working_set_larger_than_memory_raises(self):
+        rt = CudaRuntime(intel_pascal(gpu_memory_bytes=2 * PAGE_SIZE),
+                         materialize=False)
+        v = rt.malloc_managed(4 * PAGE_SIZE).typed(np.float32)
+        with pytest.raises(MemoryError):
+            # One access needing 4 resident pages with only 2 available:
+            # every candidate page is pinned by the access itself.
+            rt.launch(lambda ctx, d: d.write(0, None, hi=len(d)),
+                      1, 128, v, name="w")
+
+
+class TestApiMisuse:
+    def test_double_free_detected(self):
+        rt = CudaRuntime(intel_pascal())
+        p = rt.malloc_managed(64)
+        rt.free(p)
+        with pytest.raises(ValueError):
+            rt.free(p)
+
+    def test_use_after_free_of_view_raises(self):
+        rt = CudaRuntime(intel_pascal())
+        p = rt.malloc_managed(64)
+        v = p.typed(np.int32)
+        rt.free(p)
+        with pytest.raises(Exception):
+            v.write(0, np.zeros(4, np.int32))
+
+    def test_advise_on_freed_range_raises(self):
+        rt = CudaRuntime(intel_pascal())
+        p = rt.malloc_managed(4096)
+        rt.free(p)
+        with pytest.raises(Exception):
+            rt.mem_advise(p, 4096,
+                          cudaMemoryAdvise.cudaMemAdviseSetReadMostly)
+
+    def test_tracer_survives_allocation_churn(self):
+        rt = CudaRuntime(intel_pascal())
+        tracer = Tracer().attach(rt)
+        for i in range(100):
+            p = rt.malloc_managed(256, label=f"t{i}")
+            p.typed(np.int32).write(0, np.zeros(8, np.int32))
+            rt.free(p)
+            if i % 10 == 0:
+                trace_print(tracer)
+        result = trace_print(tracer)
+        assert len(tracer.smt) == 0
+        assert tracer.smt.graveyard == []
+
+    def test_kernel_exception_leaves_runtime_usable(self):
+        rt = CudaRuntime(intel_pascal())
+        tracer = Tracer().attach(rt)
+
+        def boom(ctx):
+            raise RuntimeError("device assert")
+
+        with pytest.raises(RuntimeError):
+            rt.launch(boom, 1, 32, name="boom")
+        assert rt.current_proc is Processor.CPU
+        # A follow-up launch is attributed correctly.
+        v = rt.malloc_managed(64, label="x").typed(np.int32)
+        rt.launch(lambda ctx, d: d.write(0, None, hi=len(d)), 1, 16, v,
+                  name="ok")
+        r = trace_print(tracer).named("x")
+        assert r.counts.gpu_written > 0
+
+
+class TestAdviceUnsetPaths:
+    def test_unset_preferred_location_restores_migration(self):
+        rt = CudaRuntime(intel_pascal())
+        A = cudaMemoryAdvise
+        m = rt.malloc_managed(4096)
+        v = m.typed(np.float64)
+        v.write(0, np.zeros(len(v)))
+        rt.mem_advise(m, 4096, A.cudaMemAdviseSetPreferredLocation, -1)
+        rt.mem_advise(m, 4096, A.cudaMemAdviseUnsetPreferredLocation)
+        rt.launch(lambda ctx, d: d.read(0, len(d)), 1, 32, v, name="r")
+        st = rt.platform.um.state_of(m.alloc)
+        assert st.present[Processor.GPU].all()  # migrated, not mapped
+
+    def test_unset_accessed_by_drops_stale_mapping(self):
+        rt = CudaRuntime(intel_pascal())
+        A = cudaMemoryAdvise
+        m = rt.malloc_managed(4096)
+        v = m.typed(np.float64)
+        v.write(0, np.zeros(len(v)))
+        rt.mem_advise(m, 4096, A.cudaMemAdviseSetAccessedBy, 0)
+        rt.mem_advise(m, 4096, A.cudaMemAdviseUnsetAccessedBy, 0)
+        st = rt.platform.um.state_of(m.alloc)
+        assert not st.mapped[Processor.GPU].any()

@@ -1,0 +1,123 @@
+"""Unit tests for DevicePtr and ArrayView."""
+
+import numpy as np
+import pytest
+
+from repro.cudart import CudaError, CudaRuntime
+from repro.memsim import intel_pascal
+
+
+@pytest.fixture
+def rt():
+    return CudaRuntime(intel_pascal())
+
+
+class TestDevicePtr:
+    def test_pointer_arithmetic(self, rt):
+        p = rt.malloc_managed(1024)
+        q = p + 128
+        assert q.addr == p.addr + 128
+
+    def test_arithmetic_cannot_escape_allocation(self, rt):
+        p = rt.malloc_managed(64)
+        with pytest.raises(ValueError):
+            _ = p + 65
+        with pytest.raises(ValueError):
+            _ = p + (-1)
+
+    def test_typed_view_count_inference(self, rt):
+        p = rt.malloc_managed(80)
+        v = p.typed(np.float64)
+        assert len(v) == 10
+
+    def test_typed_view_overflow_rejected(self, rt):
+        p = rt.malloc_managed(80)
+        with pytest.raises(ValueError):
+            p.typed(np.float64, 11)
+
+    def test_typed_view_with_offset(self, rt):
+        p = rt.malloc_managed(80)
+        v = p.typed(np.float64, offset_bytes=16)
+        assert len(v) == 8
+        assert v.addr == p.addr + 16
+
+
+class TestArrayViewFunctional:
+    def test_write_then_read_roundtrip(self, rt):
+        v = rt.malloc_managed(8 * 8).typed(np.float64)
+        v.write(0, np.arange(8.0))
+        got = v.read(2, 5)
+        assert list(got) == [2.0, 3.0, 4.0]
+
+    def test_read_returns_copy_not_view(self, rt):
+        v = rt.malloc_managed(8 * 4).typed(np.float64)
+        v.write(0, np.ones(4))
+        got = v.read(0, 4)
+        got[:] = 99
+        assert v.raw[0] == 1.0
+
+    def test_scalar_write_needs_hi(self, rt):
+        v = rt.malloc_managed(8 * 4).typed(np.float64)
+        with pytest.raises(ValueError):
+            v.write(0, 3.0)
+        v.write(0, 3.0, hi=4)
+        assert (v.raw == 3.0).all()
+
+    def test_fill(self, rt):
+        v = rt.malloc_managed(4 * 10).typed(np.int32)
+        v.fill(7)
+        assert (v.raw == 7).all()
+
+    def test_gather_scatter(self, rt):
+        v = rt.malloc_managed(4 * 10).typed(np.int32)
+        v.write(0, np.arange(10, dtype=np.int32))
+        idx = np.array([1, 3, 5])
+        assert list(v.gather(idx)) == [1, 3, 5]
+        v.scatter(idx, np.array([-1, -3, -5]))
+        assert v.raw[3] == -3
+
+    def test_rmw_applies_function(self, rt):
+        v = rt.malloc_managed(4 * 4).typed(np.int32)
+        v.write(0, np.arange(4, dtype=np.int32))
+        v.rmw(0, 4, lambda x: x + 10)
+        assert list(v.raw) == [10, 11, 12, 13]
+
+    def test_out_of_bounds_rejected(self, rt):
+        v = rt.malloc_managed(8 * 4).typed(np.float64)
+        with pytest.raises(IndexError):
+            v.read(0, 5)
+        with pytest.raises(IndexError):
+            v.gather(np.array([4]))
+
+    def test_subview_windows_elements(self, rt):
+        v = rt.malloc_managed(8 * 10).typed(np.float64)
+        v.write(0, np.arange(10.0))
+        sub = v.subview(4, 7)
+        assert list(sub.read(0, 3)) == [4.0, 5.0, 6.0]
+
+    def test_empty_range_is_noop(self, rt):
+        v = rt.malloc_managed(8 * 4).typed(np.float64)
+        before = rt.platform.clock.now
+        assert len(v.read(2, 2)) == 0
+        assert rt.platform.clock.now == before
+
+
+class TestArrayViewFootprint:
+    def test_footprint_read_returns_none_but_simulates(self):
+        rt = CudaRuntime(intel_pascal(), materialize=False)
+        v = rt.malloc_managed(1 << 20).typed(np.float64)
+        assert v.read(0, 100) is None
+        st = rt.platform.um.state_of(v.alloc)
+        assert st.present[0, 0]  # populated at CPU by the read
+
+    def test_footprint_write_ignores_values(self):
+        rt = CudaRuntime(intel_pascal(), materialize=False)
+        v = rt.malloc_managed(4096).typed(np.float64)
+        v.write(0, None, hi=8)  # must not raise
+        assert not v.functional
+
+    def test_raw_raises_in_footprint_mode(self):
+        rt = CudaRuntime(intel_pascal(), materialize=False)
+        v = rt.malloc_managed(4096).typed(np.float64)
+        with pytest.raises(RuntimeError):
+            _ = v.raw

@@ -1,0 +1,39 @@
+"""Tests for the CLI's CSV export path."""
+
+import csv
+import io
+
+from repro.evalx.base import ExperimentResult
+from repro.evalx.runner import main, rows_to_csv
+
+
+class TestRowsToCsv:
+    def test_simple_rows(self):
+        r = ExperimentResult("x", "t", rows=[
+            {"a": 1, "b": 2.5}, {"a": 3, "b": 0.125},
+        ])
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(r))))
+        assert parsed[0]["a"] == "1"
+        assert parsed[1]["b"] == "0.125"
+
+    def test_heterogeneous_keys_merged(self):
+        r = ExperimentResult("x", "t", rows=[{"a": 1}, {"a": 2, "b": 3}])
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(r))))
+        assert parsed[0]["b"] == ""
+        assert parsed[1]["b"] == "3"
+
+    def test_sequences_joined(self):
+        r = ExperimentResult("x", "t", rows=[{"diags": [7, 6]}])
+        assert "6;7" in rows_to_csv(r)
+
+    def test_empty_rows(self):
+        assert rows_to_csv(ExperimentResult("x", "t")) == ""
+
+
+class TestCliCsvFlag:
+    def test_writes_per_experiment_files(self, tmp_path, capsys):
+        assert main(["fig7", "--csv", str(tmp_path)]) == 0
+        content = (tmp_path / "fig7.csv").read_text()
+        parsed = list(csv.DictReader(io.StringIO(content)))
+        panels = {row["panel"] for row in parsed}
+        assert panels == {"a", "b"}

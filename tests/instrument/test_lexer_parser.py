@@ -1,0 +1,191 @@
+"""Unit tests for the mini-CUDA lexer and parser."""
+
+import pytest
+
+from repro.instrument import LexError, ParseError, parse, tokenize
+from repro.instrument import ast_nodes as A
+from repro.instrument.tokens import TokenKind
+from repro.instrument.typesys import Array, Pointer, StructType
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [t.kind for t in toks]
+        assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.PUNCT,
+                         TokenKind.INT, TokenKind.PUNCT, TokenKind.EOF]
+
+    def test_kernel_launch_brackets(self):
+        toks = tokenize("k<<<1, 2>>>(x)")
+        texts = [t.text for t in toks if t.kind is TokenKind.PUNCT]
+        assert "<<<" in texts and ">>>" in texts
+
+    def test_shift_vs_launch(self):
+        toks = tokenize("a << b >> c")
+        texts = [t.text for t in toks if t.kind is TokenKind.PUNCT]
+        assert texts == ["<<", ">>"]
+
+    def test_comments_are_skipped(self):
+        toks = tokenize("int a; // line\n/* block\nmore */ int b;")
+        idents = [t.text for t in toks if t.kind is TokenKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_pragma_and_directive(self):
+        toks = tokenize('#include "x.h"\n#pragma xpl replace f\nint a;')
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert toks[1].kind is TokenKind.PRAGMA
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2e3 7f 10")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [TokenKind.FLOAT, TokenKind.FLOAT, TokenKind.FLOAT,
+                         TokenKind.INT]
+
+    def test_string_with_escape(self):
+        toks = tokenize(r'"a\"b"')
+        assert toks[0].text == r'"a\"b"'
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"open')
+
+    def test_positions_tracked(self):
+        toks = tokenize("int\n  x;")
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestParserDeclarations:
+    def test_struct_layout(self):
+        unit = parse("struct P { int a; double b; int* c; };")
+        struct = unit.types.struct("P")
+        assert struct.size == 24
+        assert [f.offset for f in struct.fields] == [0, 8, 16]
+
+    def test_struct_array_member(self):
+        unit = parse("struct Q { int v[10]; char tag; };")
+        struct = unit.types.struct("Q")
+        assert struct.fields[0].type.size == 40
+        assert struct.size == 44
+
+    def test_global_multi_declarator(self):
+        unit = parse("int a, *b, c = 3;")
+        decls = unit.items[0].decls
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert isinstance(decls[1].ctype, Pointer)
+        assert decls[2].init is not None
+
+    def test_function_with_params(self):
+        unit = parse("__global__ void k(int* p, int n) { }")
+        fn = unit.function("k")
+        assert fn.is_kernel
+        assert isinstance(fn.params[0].ctype, Pointer)
+
+    def test_prototype_has_no_body(self):
+        unit = parse("int f(int x);")
+        assert unit.functions()[0].body is None
+
+    def test_variadic(self):
+        unit = parse("void log(int level, ...);")
+        assert unit.functions()[0].variadic
+
+    def test_array_param_decays(self):
+        unit = parse("void f(int a[]) { }")
+        assert isinstance(unit.function("f").params[0].ctype, Pointer)
+
+    def test_typedef(self):
+        unit = parse("typedef double Real; Real x;")
+        assert unit.items[1].decls[0].ctype.spell() == "double"
+
+    def test_local_array(self):
+        unit = parse("void f() { int buf[8]; }")
+        decl = unit.function("f").body.stmts[0].decls[0]
+        assert isinstance(decl.ctype, Array) and decl.ctype.length == 8
+
+
+class TestParserExpressions:
+    def get_expr(self, text):
+        unit = parse(f"void f(int* p, int x) {{ {text}; }}")
+        return unit.function("f").body.stmts[0].expr
+
+    def test_precedence(self):
+        e = self.get_expr("x = 1 + 2 * 3")
+        assert isinstance(e, A.Assign)
+        assert isinstance(e.value, A.Binary) and e.value.op == "+"
+        assert e.value.right.op == "*"
+
+    def test_ternary(self):
+        e = self.get_expr("x = x < 3 ? 1 : 2")
+        assert isinstance(e.value, A.Ternary)
+
+    def test_pointer_chain(self):
+        e = self.get_expr("*p = p[1] + p[x]")
+        assert isinstance(e.target, A.Unary) and e.target.op == "*"
+
+    def test_member_chain(self):
+        unit = parse("""
+            struct N { struct N* next; int v; };
+            void f(struct N* n) { n->next->v = 1; }
+        """)
+        e = unit.function("f").body.stmts[0].expr
+        assert isinstance(e.target, A.Member) and e.target.arrow
+        assert isinstance(e.target.base, A.Member)
+
+    def test_kernel_launch_with_four_config_args(self):
+        e = self.get_expr("k<<<1, 2, 0, 0>>>(p)")
+        assert isinstance(e, A.KernelLaunch)
+        assert e.shmem is not None and e.stream is not None
+
+    def test_new_with_init(self):
+        e = self.get_expr("p = new int(2)")
+        assert isinstance(e.value, A.NewExpr)
+        assert e.value.init is not None
+
+    def test_new_array(self):
+        e = self.get_expr("p = new int[x]")
+        assert isinstance(e.value, A.NewExpr) and e.value.count is not None
+
+    def test_cast_vs_paren(self):
+        cast = self.get_expr("x = (int)1.5")
+        assert isinstance(cast.value, A.Cast)
+        grouped = self.get_expr("x = (x) + 1")
+        assert isinstance(grouped.value, A.Binary)
+
+    def test_sizeof_type_and_expr(self):
+        st = self.get_expr("x = sizeof(int)")
+        assert isinstance(st.value, A.SizeofType)
+        se = self.get_expr("x = sizeof *p")
+        assert isinstance(se.value, A.SizeofExpr)
+
+    def test_postfix_increment(self):
+        e = self.get_expr("x++")
+        assert isinstance(e, A.Unary) and not e.prefix
+
+    def test_parse_error_has_position(self):
+        with pytest.raises(ParseError) as err:
+            parse("void f() { int; }")
+        assert "at" in str(err.value)
+
+
+class TestParserStatements:
+    def test_for_with_decl(self):
+        unit = parse("void f() { for (int i = 0; i < 4; i++) { } }")
+        loop = unit.function("f").body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.DeclStmt)
+
+    def test_if_else_chain(self):
+        unit = parse("void f(int x) { if (x) x = 1; else if (x) x = 2; else x = 3; }")
+        s = unit.function("f").body.stmts[0]
+        assert isinstance(s.other, A.If)
+
+    def test_do_while(self):
+        unit = parse("void f(int x) { do { x--; } while (x > 0); }")
+        assert isinstance(unit.function("f").body.stmts[0], A.DoWhile)
+
+    def test_break_continue(self):
+        unit = parse("void f() { while (1) { break; } while (1) { continue; } }")
+        assert isinstance(unit.function("f").body.stmts[0].body.stmts[0], A.Break)

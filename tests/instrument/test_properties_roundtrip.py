@@ -1,0 +1,113 @@
+"""Property-based tests: unparse/parse round trips on generated ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import ast_nodes as A
+from repro.instrument import parse, unparse, unparse_expr
+
+
+# ---------------------------------------------------------------------- #
+# a recursive strategy for integer expressions over two variables
+
+def exprs():
+    leaves = st.one_of(
+        st.integers(0, 999).map(lambda n: A.IntLit(str(n))),
+        st.sampled_from(["x", "y"]).map(A.Ident),
+    )
+
+    def extend(children):
+        binops = st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "==",
+                                  "&&", "||", "&", "|", "^", "<<", ">>"])
+        return st.one_of(
+            st.tuples(binops, children, children).map(
+                lambda t: A.Binary(t[0], t[1], t[2])),
+            st.tuples(st.sampled_from(["-", "!", "~"]), children).map(
+                lambda t: A.Unary(t[0], t[1])),
+            st.tuples(children, children, children).map(
+                lambda t: A.Ternary(t[0], t[1], t[2])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def wrap(expr_text: str) -> str:
+    return f"int f(int x, int y) {{ return {expr_text}; }}"
+
+
+class TestRoundTrip:
+    @given(exprs())
+    @settings(max_examples=150, deadline=None)
+    def test_unparse_parse_unparse_is_identity(self, expr):
+        """Precedence-aware printing must survive a re-parse unchanged."""
+        first = unparse_expr(expr)
+        unit = parse(wrap(first))
+        reparsed = unit.function("f").body.stmts[0].value
+        second = unparse_expr(reparsed)
+        assert first == second
+
+    @given(exprs())
+    @settings(max_examples=75, deadline=None)
+    def test_whole_unit_round_trip_stabilizes(self, expr):
+        """unparse(parse(.)) reaches a fixpoint after one iteration."""
+        src1 = unparse(parse(wrap(unparse_expr(expr))))
+        src2 = unparse(parse(src1))
+        assert src1 == src2
+
+
+class TestInterpreterAgreesWithPython:
+    @given(exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_expression_semantics_match_reference(self, expr):
+        """The interpreter and a Python reference evaluator agree."""
+        from repro.interp import run_program
+        from repro.interp.interpreter import _cdiv, _cmod
+
+        X, Y = 7, 3
+
+        def ref(e):
+            if isinstance(e, A.IntLit):
+                return e.value
+            if isinstance(e, A.Ident):
+                return {"x": X, "y": Y}[e.name]
+            if isinstance(e, A.Unary):
+                v = ref(e.operand)
+                return {"-": -v, "!": int(not v), "~": ~int(v)}[e.op]
+            if isinstance(e, A.Ternary):
+                return ref(e.then) if ref(e.cond) else ref(e.other)
+            left = ref(e.left)
+            if e.op == "&&":
+                return int(bool(left) and bool(ref(e.right)))
+            if e.op == "||":
+                return int(bool(left) or bool(ref(e.right)))
+            right = ref(e.right)
+            if e.op in ("/", "%") and right == 0:
+                raise ZeroDivisionError
+            if e.op in ("<<", ">>") and (right < 0 or right > 63 or left < 0):
+                raise OverflowError  # skip UB-ish shifts
+            return {
+                "+": lambda: left + right, "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: _cdiv(left, right),
+                "%": lambda: _cmod(left, right),
+                "<": lambda: int(left < right), ">": lambda: int(left > right),
+                "==": lambda: int(left == right),
+                "&": lambda: int(left) & int(right),
+                "|": lambda: int(left) | int(right),
+                "^": lambda: int(left) ^ int(right),
+                "<<": lambda: int(left) << int(right),
+                ">>": lambda: int(left) >> int(right),
+            }[e.op]()
+
+        try:
+            expected = ref(expr)
+        except (ZeroDivisionError, OverflowError):
+            return  # skip inputs with undefined behaviour
+        if not -2**31 <= expected < 2**31:
+            return  # int return value would wrap
+        src = f"""
+            int f(int x, int y) {{ return {unparse_expr(expr)}; }}
+            int main() {{ return f({X}, {Y}); }}
+        """
+        it = run_program(src, instrumented=False)
+        assert it.run("main") == expected

@@ -1,0 +1,214 @@
+"""Tests for the instrumentation transform (paper §III-B rules).
+
+Golden cases reproduce the paper's own examples: Fig 2's read/write
+wrapping, ``traceRW(*a)++``, the Table I replacement pragma, and the
+``tracePrint`` expansion with the STL-pair example.
+"""
+
+import pytest
+
+from repro.instrument import instrument_source, parse, instrument
+from repro.instrument.errors import TypeError_
+
+
+def lines_of(src: str) -> list[str]:
+    out, _ = instrument_source(src)
+    return [line.strip() for line in out.splitlines() if line.strip()]
+
+
+class TestPaperFig2:
+    def test_read_wrapping(self):
+        src = "void f() { int* p = new int(2); int x = *p; }"
+        assert "int x = traceR(*p);" in lines_of(src)
+
+    def test_write_wrapping(self):
+        src = "void f() { int* p = new int(2); *p = 3; }"
+        assert "traceW(*p) = 3;" in lines_of(src)
+
+    def test_rmw_wrapping(self):
+        src = "void f(int* a) { (*a)++; }"
+        assert "traceRW(*a)++;" in lines_of(src)
+
+    def test_compound_assign_is_rmw(self):
+        src = "void f(int* a) { a[2] += 5; }"
+        assert "traceRW(a[2]) += 5;" in lines_of(src)
+
+
+class TestElision:
+    def test_plain_variables_not_instrumented(self):
+        src = "void f() { int x = 1; int y = x; y = x + 2; }"
+        out, res = instrument_source(src)
+        assert "trace" not in out
+        assert sum(res.wrapped.values()) == 0
+
+    def test_address_of_elided(self):
+        src = "void f(int* p) { int** q = &p; int* r = &p[3]; }"
+        out, _ = instrument_source(src)
+        assert "traceR(p[3])" not in out
+        assert "&p[3]" in out
+
+    def test_sizeof_operand_elided(self):
+        src = "void f(int* p) { int n = sizeof(*p); }"
+        out, _ = instrument_source(src)
+        assert "trace" not in out
+
+    def test_stack_array_not_instrumented(self):
+        src = "void f() { int buf[4]; buf[0] = 1; int x = buf[1]; }"
+        out, _ = instrument_source(src)
+        assert "trace" not in out
+
+    def test_stack_struct_dot_not_instrumented(self):
+        src = """
+            struct P { int a; };
+            void f() { struct P s; s.a = 1; }
+        """
+        out, _ = instrument_source(src)
+        assert "trace" not in out
+
+    def test_pointer_param_indexing_is_instrumented(self):
+        src = "void f(int* p) { p[0] = 1; }"
+        assert "traceW(p[0]) = 1;" in lines_of(src)
+
+    def test_arrow_member_is_instrumented(self):
+        src = """
+            struct P { int a; };
+            void f(struct P* p) { p->a = 1; int x = p->a; }
+        """
+        out = lines_of(src)
+        assert "traceW(p->a) = 1;" in out
+        assert "int x = traceR(p->a);" in out
+
+    def test_deref_dot_member_is_instrumented(self):
+        src = """
+            struct P { int a; };
+            void f(struct P* p) { (*p).a = 2; }
+        """
+        out, _ = instrument_source(src)
+        assert "traceW((*p).a) = 2;" in out
+
+
+class TestNesting:
+    def test_nested_pointer_chain(self):
+        src = """
+            struct N { struct N* next; int v; };
+            void f(struct N* n) { n->next->v = 1; }
+        """
+        out, _ = instrument_source(src)
+        assert "traceW(traceR(n->next)->v) = 1;" in out
+
+    def test_index_of_loaded_pointer(self):
+        src = """
+            struct D { double* x; };
+            void f(struct D* d, int i) { d->x[i] = 0.0; }
+        """
+        out, _ = instrument_source(src)
+        assert "traceW(traceR(d->x)[i]) = 0.0;" in out
+
+
+class TestReplacePragmas:
+    SRC = """
+        #pragma xpl replace cudaMallocManaged
+        cudaError_t trcMallocManaged(void** p, size_t sz);
+
+        void f(int** a) {
+            cudaMallocManaged((void**)a, 100);
+        }
+    """
+
+    def test_call_redirected(self):
+        out, res = instrument_source(self.SRC)
+        assert "trcMallocManaged((void**)a, 100);" in out
+        assert res.replacements == {"cudaMallocManaged": "trcMallocManaged"}
+
+    def test_kernel_launch_replacement(self):
+        src = """
+            #pragma xpl replace kernel-launch
+            void traceKernelLaunch(int g, int b, int s, int st, ...);
+            __global__ void k(int* p);
+            void f(int* p) { k<<<4, 64>>>(p); }
+        """
+        out, _ = instrument_source(src)
+        assert "traceKernelLaunch(4, 64, 0, 0, k, p);" in out
+
+    def test_launch_without_replacement_kept(self):
+        src = "__global__ void k(int* p); void f(int* p) { k<<<1, 2>>>(p); }"
+        out, _ = instrument_source(src)
+        assert "k<<<1, 2>>>(p);" in out
+
+    def test_dangling_replace_pragma_rejected(self):
+        src = "#pragma xpl replace foo\nint x;"
+        with pytest.raises(TypeError_):
+            instrument(parse(src))
+
+
+class TestDiagnosticExpansion:
+    def test_paper_pair_example(self):
+        # The paper: a points to an STL pair of two int pointers, z to a
+        # scalar; the pragma expands to four XplAllocData records.
+        src = """
+            struct pair { int* first; int* second; };
+            void f(struct pair* a, int* z) {
+            #pragma xpl diagnostic tracePrint(out; a, z)
+            }
+        """
+        out, res = instrument_source(src)
+        assert ('tracePrint(out, '
+                'XplAllocData(a, "a", sizeof(*a)), '
+                'XplAllocData(a->first, "a->first", sizeof(*a->first)), '
+                'XplAllocData(a->second, "a->second", sizeof(*a->second)), '
+                'XplAllocData(z, "z", sizeof(*z)));') in out
+        assert res.diagnostics_inserted == 1
+
+    def test_type_repetition_guard(self):
+        src = """
+            struct node { struct node* next; int* data; };
+            void f(struct node* head) {
+            #pragma xpl diagnostic tracePrint(out; head)
+            }
+        """
+        out, _ = instrument_source(src)
+        # head, head->next and head->data are recorded; head->next's own
+        # members are not expanded because struct node repeats on the path.
+        assert 'XplAllocData(head->next, "head->next",' in out
+        assert 'XplAllocData(head->data, "head->data",' in out
+        assert "head->next->next" not in out
+        assert "head->next->data" not in out
+
+    def test_non_pointer_argument_rejected(self):
+        src = """
+            void f(int x) {
+            #pragma xpl diagnostic tracePrint(out; x)
+            }
+        """
+        with pytest.raises(TypeError_):
+            instrument(parse(src))
+
+    def test_unknown_variable_rejected(self):
+        src = """
+            void f() {
+            #pragma xpl diagnostic tracePrint(out; nothere)
+            }
+        """
+        with pytest.raises(TypeError_):
+            instrument(parse(src))
+
+    def test_non_xpl_pragma_passes_through(self):
+        src = "void f() {\n#pragma omp parallel\n}"
+        out, _ = instrument_source(src)
+        assert "#pragma omp parallel" in out
+
+
+class TestIdempotentShape:
+    def test_instrumented_source_reparses(self):
+        src = """
+            struct D { double* x; };
+            #pragma xpl replace cudaMallocManaged
+            cudaError_t trcMallocManaged(void** p, size_t sz);
+            void f(struct D* d, int n) {
+                for (int i = 0; i < n; i++) { d->x[i] = i * 1.0; }
+            #pragma xpl diagnostic tracePrint(out; d)
+            }
+        """
+        out, _ = instrument_source(src)
+        reparsed = parse(out)  # must be syntactically valid
+        assert reparsed.function("f") is not None

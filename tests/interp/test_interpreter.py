@@ -1,0 +1,230 @@
+"""Tests for the mini-CUDA interpreter: semantics + end-to-end tracing."""
+
+import pytest
+
+from repro.analysis import AntiPattern, detect_alternating
+from repro.interp import InterpError, run_program
+from repro.memsim import Processor
+from repro.runtime import trace_print
+
+
+def result_of(body: str, *, instrumented: bool = False):
+    """Run ``int main() { <body> }`` and return main's return value."""
+    it = run_program(f"int main() {{ {body} }}", instrumented=instrumented)
+    return it.run("main")
+
+
+class TestBasics:
+    def test_arithmetic_and_return(self):
+        assert result_of("return 2 + 3 * 4;") == 14
+
+    def test_c_division_truncates_toward_zero(self):
+        assert result_of("return -7 / 2;") == -3
+        assert result_of("return -7 % 2;") == -1
+
+    def test_locals_and_assignment(self):
+        assert result_of("int x = 5; x += 2; x *= 3; return x;") == 21
+
+    def test_if_else(self):
+        assert result_of("int x = 3; if (x > 2) return 1; else return 0;") == 1
+
+    def test_while_loop(self):
+        assert result_of("int s = 0; int i = 0; while (i < 5) { s += i; i++; } return s;") == 10
+
+    def test_for_loop_with_break_continue(self):
+        assert result_of(
+            "int s = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  if (i == 3) continue;"
+            "  if (i == 6) break;"
+            "  s += i;"
+            "} return s;"
+        ) == 0 + 1 + 2 + 4 + 5
+
+    def test_do_while(self):
+        assert result_of("int i = 0; do { i++; } while (i < 3); return i;") == 3
+
+    def test_ternary_and_logic(self):
+        # C logical operators yield 0/1, so this is 1 + 1.
+        assert result_of("int x = 0; return x ? 10 : (1 && 2) + (0 || 5);") == 2
+
+    def test_function_call(self):
+        it = run_program("""
+            int square(int x) { return x * x; }
+            int main() { return square(7); }
+        """)
+        assert it.run("main") == 49
+
+    def test_recursion(self):
+        it = run_program("""
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { return fib(10); }
+        """)
+        assert it.run("main") == 55
+
+    def test_char_literal(self):
+        assert result_of("return 'A';") == 65
+
+    def test_printf_capture(self):
+        it = run_program('int main() { printf("v=%d\\n", 42); return 0; }')
+        assert "v=42" in it.stdout
+
+
+class TestPointersAndStructs:
+    def test_new_and_deref(self):
+        assert result_of("int* p = new int(2); *p = *p + 5; return *p;") == 7
+
+    def test_pointer_arithmetic(self):
+        assert result_of(
+            "int* p = new int[4]; p[0] = 1; p[1] = 2;"
+            "int* q = p + 1; return *q;"
+        ) == 2
+
+    def test_address_of_local(self):
+        assert result_of("int x = 3; int* p = &x; *p = 9; return x;") == 9
+
+    def test_struct_members_via_pointer(self):
+        it = run_program("""
+            struct P { int a; int b; };
+            int main() {
+                struct P s;
+                struct P* p = &s;
+                p->a = 3; p->b = 4;
+                return p->a * p->b;
+            }
+        """)
+        assert it.run("main") == 12
+
+    def test_struct_dot_access(self):
+        it = run_program("""
+            struct P { int a; double d; };
+            int main() { struct P s; s.a = 5; return s.a; }
+        """)
+        assert it.run("main") == 5
+
+    def test_double_values(self):
+        assert result_of(
+            "double* p = new double(1.5); *p = *p * 2.0;"
+            "return (int)*p;"
+        ) == 3
+
+    def test_delete(self):
+        assert result_of("int* p = new int(1); delete p; return 0;") == 0
+
+    def test_invalid_deref_raises(self):
+        with pytest.raises(InterpError):
+            result_of("int* p = (int*)1234; return *p;")
+
+
+class TestCudaBuiltins:
+    def test_managed_alloc_and_kernel(self):
+        it = run_program("""
+            __global__ void twice(int* d, int n) {
+                int i = threadIdx.x + blockIdx.x * blockDim.x;
+                if (i < n) { d[i] = d[i] * 2; }
+            }
+            int main() {
+                int* a;
+                cudaMallocManaged((void**)&a, 8 * sizeof(int));
+                for (int i = 0; i < 8; i++) { a[i] = i; }
+                twice<<<2, 4>>>(a, 8);
+                int s = 0;
+                for (int i = 0; i < 8; i++) { s += a[i]; }
+                cudaFree(a);
+                return s;
+            }
+        """)
+        assert it.run("main") == 2 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7)
+
+    def test_cuda_memcpy(self):
+        it = run_program("""
+            int main() {
+                int* host = new int[4];
+                int* dev;
+                cudaMalloc((void**)&dev, 4 * sizeof(int));
+                host[0] = 11; host[1] = 22; host[2] = 33; host[3] = 44;
+                cudaMemcpy(dev, host, 4 * sizeof(int), 1);
+                int* back = new int[4];
+                cudaMemcpy(back, dev, 4 * sizeof(int), 2);
+                return back[2];
+            }
+        """)
+        assert it.run("main") == 33
+
+    def test_kernel_time_advances_clock(self):
+        it = run_program("""
+            __global__ void k(int* d) { d[threadIdx.x] = 1; }
+            int main() {
+                int* a;
+                cudaMallocManaged((void**)&a, 64);
+                k<<<1, 16>>>(a);
+                return 0;
+            }
+        """)
+        assert it.platform.clock.now > 0
+
+
+class TestEndToEndTracing:
+    PROGRAM = """
+        #pragma xpl replace cudaMallocManaged
+        cudaError_t trcMallocManaged(void** p, size_t sz);
+        #pragma xpl replace kernel-launch
+        void traceKernelLaunch(int g, int b, int s, int st, ...);
+
+        __global__ void scale(int* data, int n, int f) {
+            int i = threadIdx.x + blockIdx.x * blockDim.x;
+            if (i < n) { data[i] = data[i] * f; }
+        }
+
+        int main() {
+            int* a;
+            cudaMallocManaged((void**)&a, 16 * sizeof(int));
+            for (int i = 0; i < 16; i++) { a[i] = i; }
+            scale<<<1, 16>>>(a, 16, 3);
+            int s = 0;
+            for (int i = 0; i < 16; i++) { s += a[i]; }
+        #pragma xpl diagnostic tracePrint(out; a)
+            return s;
+        }
+    """
+
+    def test_functional_result_preserved_by_instrumentation(self):
+        plain = run_program(self.PROGRAM, instrumented=False)
+        traced = run_program(self.PROGRAM, instrumented=True)
+        assert plain.run("main") == traced.run("main") == 3 * sum(range(16))
+
+    def test_shadow_counts_reflect_both_processors(self):
+        it = run_program(self.PROGRAM)
+        # Re-run main under a fresh epoch to get deterministic counts.
+        out = it.stdout
+        assert "16 elements with alternating accesses" in out
+        assert "access density (in %): 100" in out
+
+    def test_kernel_launch_recorded_via_wrapper(self):
+        it = run_program(self.PROGRAM)
+        assert [k.name for k in it.tracer.kernels].count("scale") >= 1
+
+    def test_alternating_detector_fires_on_interpreted_program(self):
+        # Same program without the embedded diagnostic: the test closes
+        # the epoch itself and runs the detector on the result.
+        program = self.PROGRAM.replace(
+            "#pragma xpl diagnostic tracePrint(out; a)", "")
+        it = run_program(program)
+        result = trace_print(it.tracer, include_maps=True)
+        findings = detect_alternating(result, it.tracer)
+        assert any(f.pattern is AntiPattern.ALTERNATING_ACCESS
+                   for f in findings)
+
+    def test_untraced_plain_run_has_empty_smt(self):
+        it = run_program(self.PROGRAM, instrumented=False)
+        assert len(it.tracer.smt) == 0
+
+    def test_gpu_accesses_attributed_to_gpu(self):
+        it = run_program(self.PROGRAM)
+        # The diagnostic output shows GPU writes (G column nonzero).
+        lines = [ln.split() for ln in it.stdout.splitlines()
+                 if ln.strip() and ln.strip()[0].isdigit()]
+        assert lines, it.stdout
+        counts = [int(x) for x in lines[0]]
+        c, g = counts[0], counts[1]
+        assert c == 16 and g == 16

@@ -1,0 +1,129 @@
+"""Unit tests for the flat simulated address space and allocator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import PAGE_SIZE, AddressSpace, MemoryKind
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestAllocate:
+    def test_kinds_live_in_disjoint_regions(self, space):
+        host = space.allocate(64, MemoryKind.HOST)
+        dev = space.allocate(64, MemoryKind.DEVICE)
+        man = space.allocate(64, MemoryKind.MANAGED)
+        assert host.base < dev.base < man.base
+        assert dev.base - host.end > 1 << 30
+
+    def test_device_and_managed_are_page_aligned(self, space):
+        a = space.allocate(100, MemoryKind.MANAGED)
+        b = space.allocate(100, MemoryKind.MANAGED)
+        assert a.base % PAGE_SIZE == 0
+        assert b.base % PAGE_SIZE == 0
+        assert b.base - a.base == PAGE_SIZE
+
+    def test_host_allocations_are_16_byte_aligned_and_packed(self, space):
+        a = space.allocate(10, MemoryKind.HOST)
+        b = space.allocate(10, MemoryKind.HOST)
+        assert a.base % 16 == 0
+        assert b.base - a.base == 16
+
+    def test_zero_and_negative_sizes_rejected(self, space):
+        for bad in (0, -4):
+            with pytest.raises(ValueError):
+                space.allocate(bad, MemoryKind.HOST)
+
+    def test_materialized_backing_is_zeroed(self, space):
+        a = space.allocate(32, MemoryKind.MANAGED)
+        assert a.materialized
+        assert a.data is not None and not a.data.any()
+
+    def test_footprint_only_has_no_backing(self, space):
+        a = space.allocate(1 << 20, MemoryKind.MANAGED, materialize=False)
+        assert not a.materialized
+        with pytest.raises(RuntimeError):
+            a.view(np.float64)
+
+    def test_num_pages_rounds_up(self, space):
+        assert space.allocate(1, MemoryKind.MANAGED).num_pages == 1
+        assert space.allocate(PAGE_SIZE + 1, MemoryKind.MANAGED).num_pages == 2
+
+
+class TestFind:
+    def test_find_hits_interior_addresses(self, space):
+        a = space.allocate(100, MemoryKind.MANAGED)
+        assert space.find(a.base) is a
+        assert space.find(a.base + 99) is a
+        assert space.find(a.base + 100) is None
+
+    def test_find_untracked_address_returns_none(self, space):
+        assert space.find(0x1234) is None
+
+    def test_find_after_free_returns_none(self, space):
+        a = space.allocate(64, MemoryKind.DEVICE)
+        space.free(a.base)
+        assert space.find(a.base) is None
+        assert a.freed
+
+    def test_find_among_many(self, space):
+        allocs = [space.allocate(50, MemoryKind.MANAGED) for _ in range(100)]
+        for a in allocs:
+            assert space.find(a.base + 25) is a
+
+
+class TestFree:
+    def test_double_free_rejected(self, space):
+        a = space.allocate(16, MemoryKind.HOST)
+        space.free(a.base)
+        with pytest.raises(ValueError):
+            space.free(a.base)
+
+    def test_free_of_interior_address_rejected(self, space):
+        a = space.allocate(64, MemoryKind.HOST)
+        with pytest.raises(ValueError):
+            space.free(a.base + 8)
+
+    def test_freed_allocation_drops_backing(self, space):
+        a = space.allocate(64, MemoryKind.MANAGED)
+        space.free(a.base)
+        assert a.data is None
+
+    def test_all_allocations_remembers_freed(self, space):
+        a = space.allocate(64, MemoryKind.MANAGED)
+        space.free(a.base)
+        assert a in space.all_allocations
+
+
+class TestAllocationGeometry:
+    def test_page_range_covers_partial_pages(self, space):
+        a = space.allocate(3 * PAGE_SIZE, MemoryKind.MANAGED)
+        assert a.page_range(a.base, 1) == (0, 1)
+        assert a.page_range(a.base + PAGE_SIZE - 1, 2) == (0, 2)
+        assert a.page_range(a.base + PAGE_SIZE, PAGE_SIZE) == (1, 2)
+        assert a.page_range(a.base, 3 * PAGE_SIZE) == (0, 3)
+
+    def test_page_range_rejects_overrun(self, space):
+        a = space.allocate(PAGE_SIZE, MemoryKind.MANAGED)
+        with pytest.raises(ValueError):
+            a.page_range(a.base, PAGE_SIZE + 1)
+
+    def test_typed_view_shares_backing(self, space):
+        a = space.allocate(8 * 10, MemoryKind.MANAGED)
+        v = a.view(np.float64)
+        v[:] = 7.0
+        assert a.view(np.float64)[3] == 7.0
+
+    def test_view_with_offset_and_count(self, space):
+        a = space.allocate(8 * 10, MemoryKind.MANAGED)
+        a.view(np.float64)[:] = np.arange(10)
+        sub = a.view(np.float64, offset=16, count=3)
+        assert list(sub) == [2.0, 3.0, 4.0]
+
+    def test_offset_of_out_of_range_rejected(self, space):
+        a = space.allocate(16, MemoryKind.HOST)
+        with pytest.raises(ValueError):
+            a.offset_of(a.end)

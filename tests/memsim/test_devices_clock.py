@@ -1,0 +1,113 @@
+"""Unit tests for device specs, the simulated clock, and streams."""
+
+import pytest
+
+from repro.memsim import DeviceSpec, Processor, SimClock, Stream
+
+
+class TestProcessor:
+    def test_other_flips(self):
+        assert Processor.CPU.other is Processor.GPU
+        assert Processor.GPU.other is Processor.CPU
+
+    def test_short_tags_match_paper_tables(self):
+        assert Processor.CPU.short == "C"
+        assert Processor.GPU.short == "G"
+
+    def test_values_are_row_indices(self):
+        assert int(Processor.CPU) == 0
+        assert int(Processor.GPU) == 1
+
+
+class TestDeviceSpec:
+    def make(self, **kw):
+        defaults = dict(
+            name="gpu", processor=Processor.GPU, memory_bytes=1 << 30,
+            element_time=1e-9, launch_overhead=1e-6,
+        )
+        defaults.update(kw)
+        return DeviceSpec(**defaults)
+
+    def test_compute_time_scales_with_elements(self):
+        d = self.make()
+        assert d.compute_time(1000) == pytest.approx(1e-6 + 1000 * 1e-9)
+
+    def test_ops_per_element_multiplier(self):
+        d = self.make()
+        assert d.compute_time(10, ops_per_element=5) == pytest.approx(1e-6 + 50e-9)
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ValueError):
+            self.make().compute_time(-1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("memory_bytes", 0), ("element_time", 0.0), ("launch_overhead", -1.0),
+    ])
+    def test_rejects_bad_parameters(self, field, value):
+        with pytest.raises(ValueError):
+            self.make(**{field: value})
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        c = SimClock()
+        assert c.now == 0.0
+        c.advance(1.5)
+        assert c.now == 1.5
+
+    def test_advance_to_never_rewinds(self):
+        c = SimClock()
+        c.advance(2.0)
+        c.advance_to(1.0)
+        assert c.now == 2.0
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(5)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestStream:
+    def test_enqueue_serializes_on_one_stream(self):
+        c = SimClock()
+        s = Stream(c)
+        t1 = s.enqueue(1.0)
+        t2 = s.enqueue(2.0)
+        assert (t1, t2) == (1.0, 3.0)
+
+    def test_work_starts_no_earlier_than_host_clock(self):
+        c = SimClock()
+        s = Stream(c)
+        c.advance(5.0)
+        assert s.enqueue(1.0) == 6.0
+
+    def test_cross_stream_dependency_via_after(self):
+        c = SimClock()
+        copy, compute = Stream(c, "copy"), Stream(c, "compute")
+        t_copy = copy.enqueue(2.0)
+        t_k = compute.enqueue(3.0, after=t_copy)
+        assert t_k == 5.0
+
+    def test_overlap_two_streams(self):
+        # A transfer on one stream overlaps compute on another: the
+        # second kernel waits only on its own input transfer.
+        c = SimClock()
+        copy, compute = Stream(c, "copy"), Stream(c, "compute")
+        t1 = copy.enqueue(1.0)            # seg1 in   [0,1]
+        k1 = compute.enqueue(4.0, after=t1)  # kernel1 [1,5]
+        t2 = copy.enqueue(1.0)            # seg2 in   [1,2] -- overlapped
+        k2 = compute.enqueue(4.0, after=t2)  # kernel2 [5,9]
+        assert k2 == 9.0
+        assert compute.synchronize() == 9.0
+        assert c.now == 9.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(SimClock()).enqueue(-1.0)

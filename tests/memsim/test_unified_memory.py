@@ -1,0 +1,331 @@
+"""Unit tests for the unified-memory driver state machine."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    PAGE_SIZE,
+    AddressSpace,
+    EventKind,
+    EventLog,
+    MemoryKind,
+    Processor,
+    SimClock,
+    UMCostParams,
+    UnifiedMemoryDriver,
+    contiguous_runs,
+    nvlink2,
+    pcie3,
+)
+
+CPU, GPU = Processor.CPU, Processor.GPU
+
+
+def make_driver(link=None, gpu_bytes=1 << 30, params=None):
+    clock = SimClock()
+    log = EventLog()
+    drv = UnifiedMemoryDriver(link or pcie3(), gpu_bytes, clock, log, params)
+    return drv, AddressSpace(), log
+
+
+def managed(space, drv, npages=4, label="a"):
+    alloc = space.allocate(npages * PAGE_SIZE, MemoryKind.MANAGED,
+                           label=label, materialize=False)
+    drv.register(alloc)
+    return alloc
+
+
+class TestFirstTouch:
+    def test_populates_at_accessor_without_fault(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        out = drv.access(a, 0, 4, CPU, is_write=True)
+        assert out.populated_pages == 4
+        assert out.fault_groups == 0
+        st = drv.state_of(a)
+        assert st.present[CPU].all()
+        assert not st.present[GPU].any()
+
+    def test_gpu_first_touch_counts_toward_residency(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, GPU, is_write=True)
+        assert drv.gpu_pages_in_use == 4
+
+
+class TestMigration:
+    def test_remote_access_after_cpu_touch_migrates_on_pcie(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.migrated_pages == 4
+        assert out.fault_groups == 1  # contiguous pages -> one fault group
+        st = drv.state_of(a)
+        assert st.present[GPU].all() and not st.present[CPU].any()
+
+    def test_scattered_pages_cost_one_group_each(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv, npages=8)
+        drv.access(a, 0, 8, CPU, is_write=True)
+        # GPU touches pages 0, 2, 4, 6: four separate fault groups.
+        total_groups = 0
+        for p in (0, 2, 4, 6):
+            total_groups += drv.access(a, p, p + 1, GPU, is_write=False).fault_groups
+        assert total_groups == 4
+
+    def test_contiguous_run_helper(self):
+        assert contiguous_runs(np.array([0, 1, 2, 5, 6, 9])) == [(0, 3), (5, 7), (9, 10)]
+        assert contiguous_runs(np.array([], dtype=int)) == []
+
+    def test_alternating_access_thrashes(self):
+        # The LULESH anti-pattern: CPU writes then GPU reads, every step.
+        drv, space, log = make_driver()
+        a = managed(space, drv, npages=1)
+        drv.access(a, 0, 1, CPU, is_write=True)
+        for _ in range(10):
+            drv.access(a, 0, 1, GPU, is_write=False)
+            drv.access(a, 0, 1, CPU, is_write=True)
+        assert log.migrated_pages == 20
+
+    def test_replay_penalty_scales_with_accessors(self):
+        params = UMCostParams(replay_per_block=1e-6, fault_service=0.0)
+        drv, space, log = make_driver(params=params)
+        a = managed(space, drv, npages=1)
+        drv.access(a, 0, 1, CPU, is_write=True)
+        small = drv.access(a, 0, 1, GPU, is_write=False, accessors=1).cost
+        drv.access(a, 0, 1, CPU, is_write=True)
+        big = drv.access(a, 0, 1, GPU, is_write=False, accessors=101).cost
+        assert big - small == pytest.approx(100e-6)
+
+    def test_replay_capped_at_max_blocks(self):
+        params = UMCostParams(replay_per_block=1e-6, max_replay_blocks=10)
+        drv, space, log = make_driver(params=params)
+        a = managed(space, drv, npages=1)
+        drv.access(a, 0, 1, CPU, is_write=True)
+        c1 = drv.access(a, 0, 1, GPU, is_write=False, accessors=10).cost
+        drv.access(a, 0, 1, CPU, is_write=True)
+        c2 = drv.access(a, 0, 1, GPU, is_write=False, accessors=10_000).cost
+        assert c1 == pytest.approx(c2)
+
+
+class TestReadMostly:
+    def test_read_duplicates_instead_of_migrating(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_read_mostly(a, 0, 4, True)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.duplicated_pages == 4
+        assert out.migrated_pages == 0
+        st = drv.state_of(a)
+        assert st.present[CPU].all() and st.present[GPU].all()
+
+    def test_second_read_is_free_of_driver_events(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_read_mostly(a, 0, 4, True)
+        drv.access(a, 0, 4, GPU, is_write=False)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.cost == 0.0
+
+    def test_write_invalidates_other_copies(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_read_mostly(a, 0, 4, True)
+        drv.access(a, 0, 4, GPU, is_write=False)    # duplicate to GPU
+        out = drv.access(a, 0, 4, CPU, is_write=True)  # CPU write: invalidate GPU
+        assert out.invalidated_pages == 4
+        st = drv.state_of(a)
+        assert st.present[CPU].all() and not st.present[GPU].any()
+        assert drv.gpu_pages_in_use == 0
+
+    def test_unset_collapses_duplicates(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_read_mostly(a, 0, 4, True)
+        drv.access(a, 0, 4, GPU, is_write=False)
+        drv.set_read_mostly(a, 0, 4, False)
+        st = drv.state_of(a)
+        assert (st.present.sum(axis=0) == 1).all()
+
+
+class TestPreferredLocation:
+    def test_setting_preference_does_not_move_data(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_preferred_location(a, 0, 4, GPU)
+        st = drv.state_of(a)
+        assert st.present[CPU].all() and not st.present[GPU].any()
+
+    def test_faulting_on_preferred_elsewhere_maps_instead_of_migrating(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_preferred_location(a, 0, 4, CPU)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.migrated_pages == 0
+        assert out.remote_bytes > 0
+        st = drv.state_of(a)
+        assert st.present[CPU].all()       # data stayed home
+        assert st.mapped[GPU].all()        # GPU mapped it remotely
+
+    def test_subsequent_accesses_stay_remote(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_preferred_location(a, 0, 4, CPU)
+        drv.access(a, 0, 4, GPU, is_write=False)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.fault_groups == 0 and out.remote_bytes > 0
+
+
+class TestAccessedBy:
+    def test_accessed_by_maps_populated_pages(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_accessed_by(a, 0, 4, GPU, True)
+        st = drv.state_of(a)
+        assert st.mapped[GPU].all()
+
+    def test_gpu_access_through_mapping_avoids_migration(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        drv.set_accessed_by(a, 0, 4, GPU, True)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.migrated_pages == 0 and out.fault_groups == 0
+        assert out.remote_bytes > 0
+
+    def test_mapping_survives_migration(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, GPU, is_write=True)          # resident on GPU
+        drv.set_accessed_by(a, 0, 4, CPU, True)
+        # CPU cannot map GPU memory over PCIe, so its access migrates; the
+        # GPU-side AccessedBy is not in play here -- check the converse:
+        drv.set_accessed_by(a, 0, 4, GPU, True)
+        drv.access(a, 0, 4, CPU, is_write=True)          # migrate to CPU
+        st = drv.state_of(a)
+        assert st.mapped[GPU].all()                      # kept up to date
+
+
+class TestCoherentLink:
+    def test_nvlink_serves_read_faults_remotely(self):
+        drv, space, log = make_driver(link=nvlink2())
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.migrated_pages == 0
+        assert out.remote_bytes > 0
+        # And the page stays mapped: no further faults.
+        out2 = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out2.fault_groups == 0
+
+    def test_nvlink_writes_still_migrate(self):
+        drv, space, log = make_driver(link=nvlink2())
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        out = drv.access(a, 0, 4, GPU, is_write=True)
+        assert out.migrated_pages == 4
+
+    def test_alternating_pattern_cheap_on_nvlink_expensive_on_pcie(self):
+        def thrash_cost(link):
+            drv, space, log = make_driver(link=link)
+            a = managed(space, drv, npages=1)
+            drv.access(a, 0, 1, CPU, is_write=True)
+            total = 0.0
+            for _ in range(20):
+                total += drv.access(a, 0, 1, GPU, is_write=False,
+                                    accessors=500, nbytes=256).cost
+                total += drv.access(a, 0, 1, CPU, is_write=True, nbytes=64).cost
+            return total
+
+        assert thrash_cost(pcie3()) > 10 * thrash_cost(nvlink2())
+
+
+class TestEviction:
+    def test_oversubscription_evicts_lru(self):
+        drv, space, log = make_driver(gpu_bytes=8 * PAGE_SIZE)
+        a = managed(space, drv, npages=6, label="a")
+        b = managed(space, drv, npages=6, label="b")
+        drv.access(a, 0, 6, GPU, is_write=True)
+        drv.access(b, 0, 6, GPU, is_write=True)   # forces eviction of a's pages
+        assert drv.gpu_pages_in_use <= 8
+        assert log.pages[EventKind.EVICTION] >= 4
+        st_a = drv.state_of(a)
+        assert st_a.present[CPU].sum() >= 4       # evicted pages live on host
+
+    def test_evicted_page_refaults_on_reuse(self):
+        drv, space, log = make_driver(gpu_bytes=4 * PAGE_SIZE)
+        a = managed(space, drv, npages=4, label="a")
+        b = managed(space, drv, npages=4, label="b")
+        drv.access(a, 0, 4, GPU, is_write=True)
+        drv.access(b, 0, 4, GPU, is_write=True)   # evicts all of a
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.migrated_pages == 4
+
+    def test_device_allocation_over_capacity_raises(self):
+        drv, space, log = make_driver(gpu_bytes=4 * PAGE_SIZE)
+        big = space.allocate(5 * PAGE_SIZE, MemoryKind.DEVICE, materialize=False)
+        with pytest.raises(MemoryError):
+            drv.register(big)
+
+    def test_free_releases_gpu_residency(self):
+        drv, space, log = make_driver(gpu_bytes=4 * PAGE_SIZE)
+        a = managed(space, drv, npages=4)
+        drv.access(a, 0, 4, GPU, is_write=True)
+        assert drv.gpu_pages_in_use == 4
+        drv.unregister(a)
+        assert drv.gpu_pages_in_use == 0
+
+
+class TestPrefetch:
+    def test_prefetch_moves_pages_without_faults(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.access(a, 0, 4, CPU, is_write=True)
+        cost = drv.prefetch(a, 0, 4, GPU)
+        assert cost > 0
+        assert log.fault_groups == 0
+        out = drv.access(a, 0, 4, GPU, is_write=False)
+        assert out.fault_groups == 0 and out.cost == 0.0
+
+    def test_prefetch_populates_untouched_pages(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv)
+        drv.prefetch(a, 0, 4, GPU)
+        st = drv.state_of(a)
+        assert st.present[GPU].all()
+
+
+class TestKindEdges:
+    def test_host_allocations_cost_nothing(self):
+        drv, space, log = make_driver()
+        h = space.allocate(64, MemoryKind.HOST)
+        out = drv.access(h, 0, 1, CPU, is_write=True)
+        assert out.cost == 0.0
+
+    def test_cpu_dereference_of_device_memory_raises(self):
+        drv, space, log = make_driver()
+        d = space.allocate(PAGE_SIZE, MemoryKind.DEVICE, materialize=False)
+        drv.register(d)
+        with pytest.raises(RuntimeError):
+            drv.access(d, 0, 1, CPU, is_write=False)
+
+    def test_bad_page_range_rejected(self):
+        drv, space, log = make_driver()
+        a = managed(space, drv, npages=2)
+        with pytest.raises(ValueError):
+            drv.access(a, 0, 3, CPU, is_write=False)
+
+    def test_state_of_unregistered_raises(self):
+        drv, space, log = make_driver()
+        h = space.allocate(64, MemoryKind.HOST)
+        with pytest.raises(KeyError):
+            drv.state_of(h)

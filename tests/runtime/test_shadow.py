@@ -1,0 +1,171 @@
+"""Unit tests for shadow flags and shadow blocks."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import AddressSpace, MemoryKind, Processor
+from repro.runtime import ShadowBlock
+from repro.runtime import flags as F  # type: ignore[attr-defined]
+from repro.runtime.flags import describe
+
+CPU, GPU = Processor.CPU, Processor.GPU
+
+
+@pytest.fixture
+def block():
+    space = AddressSpace()
+    alloc = space.allocate(400, MemoryKind.MANAGED, label="buf")  # 100 words
+    return ShadowBlock(alloc)
+
+
+class TestGeometry:
+    def test_one_shadow_byte_per_word(self, block):
+        assert block.nwords == 100
+        assert block.shadow.dtype == np.uint8
+
+    def test_word_range_partial_words(self, block):
+        assert block.word_range(0, 1) == (0, 1)
+        assert block.word_range(3, 2) == (0, 2)   # straddles words 0 and 1
+        assert block.word_range(4, 4) == (1, 2)
+        assert block.word_range(4, 8) == (1, 3)
+
+    def test_word_range_rejects_overrun(self, block):
+        with pytest.raises(ValueError):
+            block.word_range(396, 8)
+
+    def test_odd_size_allocation_rounds_up(self):
+        space = AddressSpace()
+        alloc = space.allocate(5, MemoryKind.HOST)
+        assert ShadowBlock(alloc).nwords == 2
+
+    def test_wide_element_word_indices(self, block):
+        idx = block.word_indices(0, 8, np.array([0, 2]))  # float64s 0 and 2
+        assert list(idx) == [0, 1, 4, 5]
+
+    def test_narrow_element_word_indices_deduplicate(self, block):
+        idx = block.word_indices(0, 1, np.array([0, 1, 2, 3, 4]))  # bytes
+        assert list(idx) == [0, 1]
+
+
+class TestWriteRules:
+    def test_cpu_write_sets_bit_and_origin(self, block):
+        block.record_write(CPU, 0, 3)
+        assert block.counts().cpu_written == 3
+        assert not (block.shadow[:3] & F.LAST_WRITE_GPU).any()
+
+    def test_gpu_write_sets_last_writer(self, block):
+        block.record_write(GPU, 0, 2)
+        assert (block.shadow[:2] & F.LAST_WRITE_GPU).all()
+
+    def test_last_writer_flips(self, block):
+        block.record_write(GPU, 0, 1)
+        block.record_write(CPU, 0, 1)
+        assert not (block.shadow[0] & F.LAST_WRITE_GPU)
+        # Both write bits remain set for the epoch.
+        c = block.counts()
+        assert c.cpu_written == 1 and c.gpu_written == 1
+
+    def test_multiple_writes_count_once(self, block):
+        # Paper: "multiple writes to the same address by the same device
+        # are counted as one."
+        for _ in range(5):
+            block.record_write(CPU, 0, 4)
+        assert block.counts().cpu_written == 4
+
+    def test_indexed_write(self, block):
+        block.record_write(GPU, 0, 0, idx=np.array([1, 5, 9]))
+        assert block.counts().gpu_written == 3
+
+
+class TestReadRules:
+    def test_unwritten_words_read_as_cpu_origin(self, block):
+        block.record_read(GPU, 0, 4)
+        c = block.counts()
+        assert c.read_cg == 4 and c.read_gg == 0
+
+    def test_read_classified_by_origin(self, block):
+        block.record_write(GPU, 0, 2)   # words 0-1 now GPU origin
+        block.record_read(CPU, 0, 4)    # CPU reads all four
+        c = block.counts()
+        assert c.read_gc == 2           # G>C for the GPU-written words
+        assert c.read_cc == 2           # C>C for the untouched ones
+
+    def test_each_category_counts_address_once(self, block):
+        block.record_read(CPU, 0, 4)
+        block.record_read(CPU, 0, 4)
+        assert block.counts().read_cc == 4
+
+    def test_all_four_categories_together(self, block):
+        block.record_write(CPU, 0, 1)
+        block.record_write(GPU, 1, 2)
+        block.record_read(CPU, 0, 2)   # C>C on word0, G>C on word1
+        block.record_read(GPU, 0, 2)   # C>G on word0, G>G on word1
+        c = block.counts()
+        assert (c.read_cc, c.read_gc, c.read_cg, c.read_gg) == (1, 1, 1, 1)
+
+    def test_indexed_read(self, block):
+        block.record_write(GPU, 0, 0, idx=np.array([3]))
+        block.record_read(CPU, 0, 0, idx=np.array([2, 3]))
+        c = block.counts()
+        assert c.read_cc == 1 and c.read_gc == 1
+
+
+class TestRmwRules:
+    def test_rmw_reads_old_origin_then_takes_ownership(self, block):
+        block.record_write(CPU, 0, 1)
+        block.record_rmw(GPU, 0, 1)    # GPU increments a CPU value
+        c = block.counts()
+        assert c.read_cg == 1          # the read saw CPU origin
+        assert c.gpu_written == 1
+        assert block.shadow[0] & F.LAST_WRITE_GPU  # ownership moved
+
+
+class TestEpochReset:
+    def test_reset_clears_access_bits(self, block):
+        block.record_write(GPU, 0, 4)
+        block.record_read(CPU, 0, 4)
+        block.reset()
+        c = block.counts()
+        assert c.accessed_words == 0
+        assert c.cpu_written == c.gpu_written == 0
+
+    def test_origin_survives_reset(self, block):
+        # "The preceding write ... regardless if it occurred in the same
+        # iteration or earlier."
+        block.record_write(GPU, 0, 2)
+        block.reset()
+        block.record_read(CPU, 0, 2)
+        assert block.counts().read_gc == 2
+
+
+class TestAnalysisMasks:
+    def test_alternating_requires_both_processors_and_a_write(self, block):
+        block.record_write(CPU, 0, 2)   # words 0-1: CPU writes
+        block.record_read(GPU, 1, 3)    # words 1-2: GPU reads
+        # word 1 is CPU-written + GPU-read => alternating; word 2 is
+        # read-only => not; word 0 is CPU-only => not.
+        assert block.alternating_words() == 1
+
+    def test_read_only_sharing_is_not_alternating(self, block):
+        block.record_read(CPU, 0, 4)
+        block.record_read(GPU, 0, 4)
+        assert block.alternating_words() == 0
+
+    def test_density(self, block):
+        block.record_write(CPU, 0, 25)
+        assert block.counts().density == pytest.approx(0.25)
+
+    def test_category_masks_shapes(self, block):
+        block.record_write(GPU, 0, 5)
+        masks = block.category_masks()
+        assert masks["gpu_write"][:5].all()
+        assert not masks["cpu_write"].any()
+        assert set(masks) >= {"cpu_write", "gpu_write", "cpu_read",
+                              "gpu_read", "accessed"}
+
+
+class TestDescribe:
+    def test_describe_names_bits(self):
+        assert describe(0) == "untouched"
+        assert "Cw" in describe(int(F.CPU_WROTE))
+        assert "C>G" in describe(int(F.READ_CG))

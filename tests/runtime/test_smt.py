@@ -1,0 +1,100 @@
+"""Unit tests for the shadow memory table."""
+
+import pytest
+
+from repro.memsim import AddressSpace, MemoryKind
+from repro.runtime import LINEAR_SEARCH_LIMIT, ShadowMemoryTable
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def add(table, space, size=64, label=""):
+    alloc = space.allocate(size, MemoryKind.MANAGED, label=label)
+    table.insert(alloc)
+    return alloc
+
+
+class TestInsertLookup:
+    def test_lookup_hits_interior(self, space):
+        t = ShadowMemoryTable()
+        a = add(t, space, 100)
+        assert t.lookup(a.base + 50).alloc is a
+        assert t.lookup(a.base + 100) is None
+
+    def test_lookup_untracked_is_none(self, space):
+        t = ShadowMemoryTable()
+        add(t, space)
+        assert t.lookup(0x10) is None
+
+    def test_overlapping_insert_rejected(self, space):
+        t = ShadowMemoryTable()
+        a = add(t, space)
+        with pytest.raises(ValueError):
+            t.insert(a)
+
+    def test_linear_regime_below_limit(self, space):
+        t = ShadowMemoryTable()
+        allocs = [add(t, space) for _ in range(LINEAR_SEARCH_LIMIT - 1)]
+        t.lookup(allocs[-1].base)
+        assert t.linear_lookups == 1
+
+    def test_binary_regime_at_limit(self, space):
+        t = ShadowMemoryTable()
+        allocs = [add(t, space) for _ in range(LINEAR_SEARCH_LIMIT)]
+        before = t.linear_lookups
+        for a in allocs:
+            assert t.lookup(a.base + 1).alloc is a
+        assert t.linear_lookups == before  # all binary now
+
+    def test_both_regimes_agree(self, space):
+        linear, binary = ShadowMemoryTable(), ShadowMemoryTable()
+        shared = AddressSpace()
+        allocs = [shared.allocate(64, MemoryKind.MANAGED) for _ in range(100)]
+        for a in allocs[:50]:
+            linear.insert(a)
+        for a in allocs:
+            binary.insert(a)
+        for a in allocs[:50]:
+            assert linear.lookup(a.base + 10).alloc is a
+            assert binary.lookup(a.base + 10).alloc is a
+
+
+class TestFreeSemantics:
+    def test_remove_parks_in_graveyard(self, space):
+        t = ShadowMemoryTable()
+        a = add(t, space)
+        block = t.remove(a.base, epoch=3)
+        assert block.freed_epoch == 3
+        assert t.lookup(a.base) is None
+        assert block in t.graveyard
+
+    def test_graveyard_included_in_reports_until_flush(self, space):
+        t = ShadowMemoryTable()
+        a = add(t, space)
+        t.remove(a.base, epoch=0)
+        assert len(t.live_and_dead()) == 1
+        t.flush_graveyard()
+        assert len(t.live_and_dead()) == 0
+
+    def test_remove_unknown_returns_none(self, space):
+        t = ShadowMemoryTable()
+        assert t.remove(0xdead, epoch=0) is None
+
+    def test_reset_all_only_touches_live(self, space):
+        from repro.memsim import Processor
+        t = ShadowMemoryTable()
+        a = add(t, space)
+        b = add(t, space)
+        blk_a = t.lookup(a.base)
+        blk_a.record_write(Processor.CPU, 0, 4)
+        t.remove(a.base, epoch=0)
+        blk_b = t.lookup(b.base)
+        blk_b.record_write(Processor.CPU, 0, 4)
+        t.reset_all()
+        # Dead block keeps its epoch data (for the pending diagnostic),
+        # live block is cleared.
+        assert blk_a.counts().cpu_written == 4
+        assert blk_b.counts().cpu_written == 0

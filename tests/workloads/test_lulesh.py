@@ -1,0 +1,175 @@
+"""Tests for the LULESH proxy: diagnosis fidelity and remedy behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AntiPattern
+from repro.memsim import Processor
+from repro.runtime import expand_object
+from repro.workloads.base import make_session
+from repro.workloads.lulesh import (
+    ALL_FIELDS,
+    DOMAIN_STRUCT_BYTES,
+    Domain,
+    Lulesh,
+    VARIANTS,
+    run_lulesh,
+)
+
+
+@pytest.fixture
+def traced_app():
+    session = make_session("intel-pascal", trace=True, materialize=True)
+    return Lulesh(session, 8, diagnose_each_step=True)
+
+
+class TestDomain:
+    def test_struct_block_is_3736_bytes(self):
+        session = make_session(trace=False)
+        dom = Domain(session, 4)
+        assert dom.self_ptr.alloc.size == DOMAIN_STRUCT_BYTES
+
+    def test_expansion_yields_50_allocations_with_reduce_buffer(self, traced_app):
+        # dom + 48 arrays; the dt-reduce buffer makes the paper's 50.
+        recs = expand_object(traced_app.dom, "dom")
+        assert recs[0].name == "dom"
+        assert len(recs) == 1 + 39  # 39 persistent live before temps exist
+
+    def test_field_geometry(self):
+        session = make_session(trace=False)
+        dom = Domain(session, 8)
+        assert dom.field_geometry("m_x") == (np.dtype(np.float64), 9 ** 3)
+        assert dom.field_geometry("m_p") == (np.dtype(np.float64), 8 ** 3)
+        assert dom.field_geometry("m_nodelist")[1] == 8 * 8 ** 3
+        assert dom.field_geometry("m_symmX")[1] == 9 ** 2
+
+    def test_unknown_field_rejected(self):
+        session = make_session(trace=False)
+        dom = Domain(session, 4)
+        with pytest.raises(KeyError):
+            dom.field_geometry("m_bogus")
+
+    def test_load_of_unset_temp_raises(self):
+        session = make_session(trace=False)
+        dom = Domain(session, 4)
+        with pytest.raises(RuntimeError):
+            dom.load("m_dxx")
+
+    def test_too_small_size_rejected(self):
+        session = make_session(trace=False)
+        with pytest.raises(ValueError):
+            Domain(session, 1)
+
+
+class TestFig4Fidelity:
+    """The paper's Fig 4 numbers for the second iteration."""
+
+    def test_dom_row(self, traced_app):
+        run = traced_app.run(3)
+        r = run.diagnoses[1].result.named("dom")
+        c = r.counts
+        assert c.cpu_written == 27          # paper: C = 27
+        assert c.gpu_written == 0           # paper: G = 0
+        assert r.density_pct == 9           # paper: 9%
+        assert r.alternating == 18          # paper: 18 elements
+
+    def test_m_p_row(self, traced_app):
+        run = traced_app.run(3)
+        r = run.diagnoses[1].result.named("(dom)->m_p")
+        c = r.counts
+        assert c.gpu_written == 1024        # paper: G = 1024
+        assert c.read_gg == 1024            # paper: G>G = 1024
+        assert r.density_pct == 100         # paper: 100%
+        assert r.alternating == 0
+
+    def test_fifty_allocations_reported(self, traced_app):
+        run = traced_app.run(2)
+        assert len(run.diagnoses[1].result.reports) == 50
+
+    def test_alternating_finding_on_dom(self, traced_app):
+        run = traced_app.run(2)
+        d = run.diagnoses[1]
+        assert any(f.pattern is AntiPattern.ALTERNATING_ACCESS and f.name == "dom"
+                   for f in d.findings)
+
+    def test_first_iteration_includes_initialization(self, traced_app):
+        run = traced_app.run(2)
+        first = run.diagnoses[0].result.named("dom")
+        # Initialization writes every pointer slot: far more CPU writes
+        # than the steady-state 27.
+        assert first.counts.cpu_written > 50
+
+    def test_temps_reported_from_graveyard(self, traced_app):
+        run = traced_app.run(2)
+        names = {r.name for r in run.diagnoses[1].result.reports}
+        assert "m_dxx" in names and "m_delv_zeta" in names
+
+
+class TestPhysicsSanity:
+    def test_state_evolves(self):
+        session = make_session(trace=False, materialize=True)
+        app = Lulesh(session, 4)
+        x0 = app.dom.view("m_x").raw.copy()
+        app.run(4)
+        assert not np.array_equal(app.dom.view("m_x").raw, x0)
+
+    def test_energy_stays_finite_and_positive(self):
+        session = make_session(trace=False, materialize=True)
+        app = Lulesh(session, 4)
+        app.run(8)
+        e = app.energy()
+        assert np.isfinite(e) and e > 0
+
+    def test_variants_compute_identical_physics(self):
+        energies = {}
+        for v in VARIANTS:
+            session = make_session(trace=False, materialize=True)
+            app = Lulesh(session, 4, variant=v)
+            app.run(4)
+            energies[v] = app.energy()
+        baseline = energies["baseline"]
+        for v, e in energies.items():
+            assert e == pytest.approx(baseline, rel=1e-12), v
+
+
+class TestRemedies:
+    @pytest.mark.parametrize("variant", [v for v in VARIANTS if v != "baseline"])
+    def test_remedies_not_slower_than_baseline_on_intel(self, variant):
+        base = run_lulesh(16, 8, platform="intel-pascal")
+        other = run_lulesh(16, 8, variant=variant, platform="intel-pascal")
+        assert other.sim_time < base.sim_time
+
+    def test_duplicate_beats_read_mostly_on_intel(self):
+        rm = run_lulesh(32, 8, variant="read_mostly", platform="intel-pascal")
+        dup = run_lulesh(32, 8, variant="duplicate", platform="intel-pascal")
+        assert dup.sim_time <= rm.sim_time
+
+    def test_read_mostly_hurts_on_power9(self):
+        base = run_lulesh(32, 8, platform="power9-volta")
+        rm = run_lulesh(32, 8, variant="read_mostly", platform="power9-volta")
+        assert rm.sim_time > base.sim_time  # paper: 0.8x (slower)
+
+    def test_duplicate_is_a_wash_on_power9(self):
+        base = run_lulesh(32, 8, platform="power9-volta")
+        dup = run_lulesh(32, 8, variant="duplicate", platform="power9-volta")
+        assert dup.sim_time == pytest.approx(base.sim_time, rel=0.1)
+
+    def test_speedup_grows_with_problem_size_on_intel(self):
+        def speedup(size):
+            b = run_lulesh(size, 8, platform="intel-pascal")
+            d = run_lulesh(size, 8, variant="duplicate", platform="intel-pascal")
+            return b.sim_time / d.sim_time
+
+        assert speedup(24) > speedup(8) * 0.95
+
+    def test_unknown_variant_rejected(self):
+        session = make_session(trace=False)
+        with pytest.raises(ValueError):
+            Lulesh(session, 4, variant="magic")
+
+    def test_duplicate_variant_removes_alternating_on_dom(self):
+        session = make_session("intel-pascal", trace=True, materialize=True)
+        app = Lulesh(session, 8, variant="duplicate", diagnose_each_step=True)
+        run = app.run(3)
+        r = run.diagnoses[1].result.named("dom")
+        assert r.alternating == 0

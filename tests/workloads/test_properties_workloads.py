@@ -1,0 +1,80 @@
+"""Property-based tests: workload implementations vs reference algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import make_session
+from repro.workloads.rodinia import Pathfinder, pathfinder_reference
+from repro.workloads.smithwaterman import (
+    RotatedSmithWaterman,
+    SmithWaterman,
+    sw_reference,
+)
+
+
+class TestSmithWatermanProperties:
+    @given(n=st.integers(1, 18), m=st.integers(1, 18),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_baseline_matches_reference(self, n, m, seed):
+        session = make_session(trace=False, materialize=True)
+        sw = SmithWaterman(session, n, m, seed=seed)
+        sw.run()
+        assert np.array_equal(sw.score_matrix(),
+                              sw_reference(sw.host_a, sw.host_b))
+
+    @given(n=st.integers(1, 18), m=st.integers(1, 18),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_rotated_best_score_matches_baseline(self, n, m, seed):
+        s1 = make_session(trace=False, materialize=True)
+        base = SmithWaterman(s1, n, m, seed=seed)
+        rb = base.run()
+        s2 = make_session(trace=False, materialize=True)
+        rot = RotatedSmithWaterman(s2, n, m, seed=seed)
+        ro = rot.run()
+        assert ro.stats["score"] == rb.stats["score"]
+
+    @given(n=st.integers(2, 15), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_score_never_negative_and_monotone_under_extension(self, n, seed):
+        session = make_session(trace=False, materialize=True)
+        sw = SmithWaterman(session, n, n, seed=seed)
+        run = sw.run()
+        assert run.stats["score"] >= 0
+        # Extending both strings can only keep or improve the best local
+        # alignment (prefix inputs embed in extended ones).
+        s2 = make_session(trace=False, materialize=True)
+        big = SmithWaterman(s2, n + 4, n + 4, seed=seed)
+        big.host_a[:n] = sw.host_a
+        big.host_b[:n] = sw.host_b
+        big._setup()
+        run_big = big.run()
+        assert run_big.stats["score"] >= run.stats["score"]
+
+
+class TestPathfinderProperties:
+    @given(cols=st.integers(4, 64), rows=st.integers(2, 20),
+           pyramid=st.integers(1, 6), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_for_any_geometry(self, cols, rows, pyramid, seed):
+        session = make_session(trace=False, materialize=True)
+        pf = Pathfinder(session, cols=cols, rows=rows,
+                        pyramid_height=pyramid, seed=seed)
+        pf.run()
+        assert np.array_equal(pf.result(),
+                              pathfinder_reference(pf.host_wall))
+
+    @given(cols=st.integers(4, 48), rows=st.integers(2, 12),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_result_bounded_by_row_extremes(self, cols, rows, seed):
+        session = make_session(trace=False, materialize=True)
+        pf = Pathfinder(session, cols=cols, rows=rows, pyramid_height=3,
+                        seed=seed)
+        pf.run()
+        result = pf.result()
+        wall = pf.host_wall.astype(np.int64)
+        assert (result >= wall.min(axis=1).sum()).all()
+        assert (result <= wall.max(axis=1).sum()).all()

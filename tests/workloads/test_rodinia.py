@@ -1,0 +1,175 @@
+"""Tests for the Rodinia ports: functional results + Table II findings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AntiPattern, diagnose
+from repro.workloads.base import make_session
+from repro.workloads.rodinia import (
+    Backprop,
+    Cfd,
+    Gaussian,
+    Lud,
+    NearestNeighbor,
+    OverlappedPathfinder,
+    Pathfinder,
+    pathfinder_reference,
+)
+
+
+def run_and_diagnose(app_cls, **kw):
+    session = make_session(trace=True, materialize=True)
+    app = app_cls(session, **kw)
+    run = app.run()
+    d = diagnose(session.tracer, include_unnamed=True)
+    return app, run, d
+
+
+class TestBackprop:
+    def test_unused_allocation_finding(self):
+        _, _, d = run_and_diagnose(Backprop, input_size=4096)
+        hits = d.of(AntiPattern.UNUSED_ALLOCATION)
+        assert [f.name for f in hits] == ["output_hidden_cuda"]
+
+    def test_roundtrip_of_unmodified_input_finding(self):
+        _, _, d = run_and_diagnose(Backprop, input_size=4096)
+        hits = d.of(AntiPattern.UNNECESSARY_TRANSFER_OUT)
+        assert any(f.name == "input_cuda" for f in hits)
+
+    def test_weights_roundtrip_is_legitimate(self):
+        _, _, d = run_and_diagnose(Backprop, input_size=4096)
+        assert not any(f.name == "input_hidden_cuda"
+                       for f in d.of(AntiPattern.UNNECESSARY_TRANSFER_OUT))
+
+    def test_invalid_size_rejected(self):
+        session = make_session(trace=False)
+        with pytest.raises(ValueError):
+            Backprop(session, input_size=0)
+
+
+class TestGaussian:
+    def test_solves_the_system(self):
+        app, run, _ = run_and_diagnose(Gaussian, size=64)
+        assert run.stats["residual"] < 1e-3
+
+    def test_m_cuda_overwritten_before_use_finding(self):
+        _, _, d = run_and_diagnose(Gaussian, size=64)
+        hits = d.of(AntiPattern.TRANSFER_OVERWRITTEN)
+        assert any(f.name == "m_cuda" for f in hits)
+
+    def test_eliminating_the_transfer_clears_the_finding(self):
+        session = make_session(trace=True, materialize=True)
+        app = Gaussian(session, size=64, eliminate_m_transfer=True)
+        run = app.run()
+        d = diagnose(session.tracer, include_unnamed=True)
+        assert not d.of(AntiPattern.TRANSFER_OVERWRITTEN)
+        assert run.stats["residual"] < 1e-3  # same numerics
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Gaussian(make_session(trace=False), size=1)
+
+
+class TestLud:
+    def test_decomposition_is_correct(self):
+        app, run, _ = run_and_diagnose(Lud, size=64)
+        assert run.stats["decomposition_error"] < 1e-2
+
+    def test_first_row_never_updated_finding(self):
+        _, _, d = run_and_diagnose(Lud, size=64)
+        hits = [f for f in d.of(AntiPattern.UNNECESSARY_TRANSFER_OUT)
+                if f.name == "m_d"]
+        assert hits
+        (lo, hi), *_ = hits[0].ranges
+        assert lo == 0 and hi >= 16  # the untouched first-row prefix
+
+    def test_gpu_access_shrinks_across_iterations(self):
+        session = make_session(trace=True, materialize=True)
+        app = Lud(session, size=64, diagnose_each_iteration=True)
+        run = app.run()
+        touched = [dg.result.named("m_d").counts.accessed_words
+                   for dg in run.diagnoses]
+        assert touched[0] > touched[-1]  # fewer and fewer locations
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Lud(make_session(trace=False), size=20)  # not a multiple of 16
+
+
+class TestCleanBenchmarks:
+    def test_nn_has_no_findings(self):
+        _, run, d = run_and_diagnose(NearestNeighbor, records=4096)
+        assert d.findings == []
+        assert np.isfinite(run.stats["nearest"])
+
+    def test_cfd_has_no_findings(self):
+        _, run, d = run_and_diagnose(Cfd, cells=2048)
+        assert d.findings == []
+        assert np.isfinite(run.stats["density_mean"])
+
+
+class TestPathfinder:
+    def test_matches_reference_dp(self):
+        session = make_session(trace=False, materialize=True)
+        pf = Pathfinder(session, cols=500, rows=26, pyramid_height=5)
+        pf.run()
+        assert np.array_equal(pf.result(), pathfinder_reference(pf.host_wall))
+
+    def test_overlapped_matches_reference_dp(self):
+        session = make_session(trace=False, materialize=True)
+        pf = OverlappedPathfinder(session, cols=500, rows=26, pyramid_height=5)
+        pf.run()
+        assert np.array_equal(pf.result(), pathfinder_reference(pf.host_wall))
+
+    def test_per_iteration_density_is_one_over_n(self):
+        session = make_session(trace=True, materialize=True)
+        pf = Pathfinder(session, cols=2048, rows=26, pyramid_height=5,
+                        diagnose_each_iteration=True)
+        run = pf.run()
+        assert pf.iterations == 5
+        # Epoch 0 also contains the full upfront copy (Fig 10a: the CPU
+        # writes the whole wall); later epochs show the 100/N % pattern.
+        assert run.diagnoses[0].result.named("gpuWall").density_pct == 100
+        for dg in run.diagnoses[1:]:
+            wall = dg.result.named("gpuWall")
+            assert wall.density_pct == pytest.approx(20, abs=2)  # 100/N %
+
+    def test_fig10_each_iteration_reads_its_own_fifth(self):
+        session = make_session(trace=True, materialize=True)
+        pf = Pathfinder(session, cols=2048, rows=26, pyramid_height=5,
+                        diagnose_each_iteration=True)
+        run = pf.run()
+        w = 2048  # words per wall row (int32)
+        for it, dg in enumerate(run.diagnoses):
+            mask = dg.result.named("gpuWall").maps["gpu_read"].mask
+            rows_touched = np.unique(np.flatnonzero(mask) // w)
+            expect = np.arange(it * 5, it * 5 + 5)
+            assert np.array_equal(rows_touched, expect)
+
+    def test_unread_remainder_flagged_per_iteration(self):
+        session = make_session(trace=True, materialize=True)
+        pf = Pathfinder(session, cols=2048, rows=26, pyramid_height=5,
+                        diagnose_each_iteration=True)
+        run = pf.run()
+        first = run.diagnoses[0]
+        hits = [f for f in first.findings
+                if f.pattern is AntiPattern.UNNECESSARY_TRANSFER_IN
+                and f.name == "gpuWall"]
+        assert hits  # 4/5 of the wall was transferred but not (yet) used
+
+    def test_overlap_wins_on_pascal_loses_on_power9(self):
+        def speedup(platform):
+            s1 = make_session(platform, trace=False, materialize=False)
+            bt = Pathfinder(s1, cols=200_000, rows=200,
+                            pyramid_height=20).run().sim_time
+            s2 = make_session(platform, trace=False, materialize=False)
+            ot = OverlappedPathfinder(s2, cols=200_000, rows=200,
+                                      pyramid_height=20).run().sim_time
+            return bt / ot
+
+        assert speedup("intel-pascal") > 1.0
+        assert speedup("power9-volta") < 1.0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Pathfinder(make_session(trace=False), cols=10, rows=1)
