@@ -28,6 +28,8 @@ import numpy as np
 from ..memsim import (
     PAGE_SIZE,
     Allocation,
+    Event,
+    EventKind,
     MemoryKind,
     Platform,
     Processor,
@@ -69,7 +71,12 @@ class CudaRuntime:
     # observers
 
     def subscribe(self, observer: AccessObserver) -> None:
-        """Attach an observer (e.g. the XPlacer tracer)."""
+        """Attach an observer (e.g. the XPlacer tracer); idempotent.
+
+        Publishing always iterates a snapshot of the observer list, so an
+        observer may ``unsubscribe`` (itself or another) from inside a
+        callback without perturbing the in-flight notification round.
+        """
         if observer not in self.observers:
             self.observers.append(observer)
 
@@ -104,7 +111,7 @@ class CudaRuntime:
             self.platform.um.register(alloc)
         except MemoryError as exc:
             raise CudaError(cudaError_t.cudaErrorMemoryAllocation, str(exc)) from exc
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_alloc(alloc)
         return DevicePtr(self, alloc)
 
@@ -117,7 +124,7 @@ class CudaRuntime:
         if ptr.offset != 0:
             raise CudaError(cudaError_t.cudaErrorInvalidDevicePointer,
                             "free of interior pointer")
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_free(ptr.alloc)
         self.platform.um.unregister(ptr.alloc)
         self.platform.address_space.free(ptr.alloc.base)
@@ -173,6 +180,12 @@ class CudaRuntime:
         else:
             cost += nbytes / _HOST_COPY_BW
 
+        direction = (f"{'D' if self._kind_of(src_alloc) == 'device' else 'H'}2"
+                     f"{'D' if self._kind_of(dst_alloc) == 'device' else 'H'}")
+        self.platform.events.record(Event(
+            EventKind.TRANSFER, self.platform.clock.now, self.current_proc,
+            nbytes=nbytes, cost=cost, detail=direction,
+        ))
         if stream is None:
             self.platform.clock.advance(cost)
         else:
@@ -180,7 +193,7 @@ class CudaRuntime:
 
         self._copy_payload(dst, dst_alloc, dst_off, src, src_alloc, src_off, nbytes)
 
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_memcpy(dst_alloc, dst_off, src_alloc, src_off, nbytes, kind)
         return cudaError_t.cudaSuccess
 
@@ -200,7 +213,7 @@ class CudaRuntime:
             self.platform.clock.advance(self.platform.link.latency + nbytes / _HOST_COPY_BW)
         if alloc.materialized:
             alloc.data[off:off + nbytes] = value
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_memcpy(alloc, off, None, 0, nbytes,
                           cudaMemcpyKind.cudaMemcpyHostToDevice
                           if alloc.kind is MemoryKind.DEVICE
@@ -239,7 +252,7 @@ class CudaRuntime:
             um.set_accessed_by(alloc, lo, hi, processor_from_device_id(device_id), False)
         else:  # pragma: no cover - enum is closed
             raise CudaError(cudaError_t.cudaErrorInvalidValue, str(advice))
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_advice(alloc, advice, ptr.offset, nbytes, device_id)
         return cudaError_t.cudaSuccess
 
@@ -282,7 +295,7 @@ class CudaRuntime:
         config = LaunchConfig(grid, block)
         kname = name or getattr(kernel, "__name__", "kernel")
         self.kernel_launches += 1
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_kernel_launch(kname, grid, block)
 
         ctx = KernelContext(self, config, kname)
@@ -304,7 +317,7 @@ class CudaRuntime:
             self.platform.clock.advance(duration)
         else:
             stream.enqueue(duration)
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_kernel_complete(kname, grid, block, duration)
 
     def device_synchronize(self) -> cudaError_t:
@@ -394,7 +407,7 @@ class CudaRuntime:
 
         # A read-modify-write is published once with is_rmw=True; observers
         # are responsible for both legs (read of the old value, then write).
-        for obs in self.observers:
+        for obs in tuple(self.observers):
             obs.on_access(proc, alloc, byte_offset, elem_size, count,
                           is_write, indices, is_rmw)
 

@@ -64,7 +64,15 @@ class KernelProfiler(ObserverBase):
                            duration: float) -> None:  # noqa: D102
         if not self._pending:
             return
-        lname, lgrid, lblock, before = self._pending.pop()
+        # Completions may arrive out of launch order (stream overlap);
+        # match the oldest pending launch with the same identity, falling
+        # back to plain FIFO for anonymous/renamed kernels.
+        for i, (pname, pgrid, pblock, _) in enumerate(self._pending):
+            if (pname, pgrid, pblock) == (name, grid, block):
+                break
+        else:
+            i = 0
+        lname, lgrid, lblock, before = self._pending.pop(i)
         after = self._snapshot()
         delta = {k: after[k] - before[k] for k in after}
         self._launches += 1
@@ -130,5 +138,12 @@ class KernelProfiler(ObserverBase):
         return out.getvalue()
 
     def reset(self) -> None:
-        """Drop collected profiles (pending snapshots are kept)."""
+        """Drop collected profiles, pending snapshots and the launch count.
+
+        Clearing ``_pending`` matters when resetting mid-launch: a stale
+        snapshot would otherwise be matched against a later completion and
+        leak pre-reset deltas into the next profile.
+        """
         self.profiles.clear()
+        self._pending.clear()
+        self._launches = 0

@@ -61,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", metavar="DIR",
                         help="also write each experiment's rows as "
                              "DIR/<id>.csv")
+    parser.add_argument("--telemetry-dir", metavar="DIR",
+                        help="record telemetry for every session an "
+                             "experiment opens; writes DIR/<id>/"
+                             "{timeline.json,events.jsonl,metrics.prom}")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -80,9 +84,29 @@ def main(argv: list[str] | None = None) -> int:
         csv_dir = Path(args.csv)
         csv_dir.mkdir(parents=True, exist_ok=True)
 
+    telemetry_dir = Path(args.telemetry_dir) if args.telemetry_dir else None
+
     for name in ids:
         kwargs = {"quick": True} if (args.quick and name == "tab3") else {}
-        result = EXPERIMENTS[name](**kwargs)
+        recorder = None
+        if telemetry_dir is not None:
+            from ..telemetry import JsonlWriter, TelemetryRecorder
+            from ..telemetry import context as telemetry_context
+
+            exp_dir = telemetry_dir / name
+            recorder = TelemetryRecorder(
+                jsonl=JsonlWriter(exp_dir / "events.jsonl"))
+            recorder.workload = name
+            recorder.config = dict(kwargs)
+            telemetry_context.install(recorder)
+        try:
+            result = EXPERIMENTS[name](**kwargs)
+        finally:
+            if recorder is not None:
+                telemetry_context.uninstall()
+                recorder.detach()
+                paths = recorder.flush(exp_dir)
+                print(f"telemetry: {paths['timeline'].parent}")
         print(result)
         if csv_dir is not None:
             (csv_dir / f"{name}.csv").write_text(rows_to_csv(result))

@@ -19,10 +19,10 @@ from .devices import (
     processor_from_device_id,
 )
 from .events import Event, EventKind, EventLog
-from .interconnect import Link, nvlink2, pcie3
+from .interconnect import Link, LinkStats, nvlink2, pcie3
 from .pages import NO_PREFERENCE, PageState, contiguous_runs
 from .platform import PLATFORMS, Platform, intel_pascal, intel_volta, power9_volta
-from .unified_memory import AccessOutcome, UMCostParams, UnifiedMemoryDriver
+from .unified_memory import AccessOutcome, MetricsHook, UMCostParams, UnifiedMemoryDriver
 
 __all__ = [
     "PAGE_SIZE",
@@ -40,6 +40,8 @@ __all__ = [
     "EventKind",
     "EventLog",
     "Link",
+    "LinkStats",
+    "MetricsHook",
     "nvlink2",
     "pcie3",
     "NO_PREFERENCE",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .devices import Processor
 
@@ -68,6 +68,7 @@ class EventLog:
         self._events: list[Event] = []
         self._keep = keep_events
         self._capacity = capacity
+        self._listeners: list[Callable[[Event], None]] = []
         self.counts: Counter[EventKind] = Counter()
         self.pages: Counter[EventKind] = Counter()
         self.bytes: Counter[EventKind] = Counter()
@@ -81,6 +82,27 @@ class EventLog:
         self.costs[event.kind] += event.cost
         if self._keep and len(self._events) < self._capacity:
             self._events.append(event)
+        if self._listeners:
+            for cb in tuple(self._listeners):
+                cb(event)
+
+    # ------------------------------------------------------------------ #
+    # live taps (telemetry)
+
+    def add_listener(self, callback: Callable[[Event], None]) -> None:
+        """Invoke ``callback(event)`` on every future :meth:`record`.
+
+        Listeners are the live-streaming counterpart of the retained event
+        list: the telemetry recorder subscribes here so driver activity can
+        be exported even in counters-only (``keep_events=False``) runs.
+        """
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[Event], None]) -> None:
+        """Detach a previously added listener (no-op if absent)."""
+        if callback in self._listeners:
+            self._listeners.remove(callback)
 
     def __len__(self) -> int:
         return sum(self.counts.values())

@@ -16,9 +16,47 @@ Two families matter for reproducing the paper's platform-dependent results:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Link", "pcie3", "nvlink2"]
+__all__ = ["Link", "LinkStats", "pcie3", "nvlink2"]
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic through one :class:`Link` (telemetry hook).
+
+    Every cost query corresponds to one simulated DMA batch or remote
+    access batch, so the counters double as utilization metrics: the
+    telemetry layer snapshots them into gauges/counters without the link
+    needing to know anything about the metrics registry.
+    """
+
+    transfers: int = 0
+    transfer_bytes: int = 0
+    transfer_time: float = 0.0
+    remote_accesses: int = 0
+    remote_bytes: int = 0
+    remote_time: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (between independent runs)."""
+        self.transfers = 0
+        self.transfer_bytes = 0
+        self.transfer_time = 0.0
+        self.remote_accesses = 0
+        self.remote_bytes = 0
+        self.remote_time = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat mapping for metric emission."""
+        return {
+            "transfers": self.transfers,
+            "transfer_bytes": self.transfer_bytes,
+            "transfer_time": self.transfer_time,
+            "remote_accesses": self.remote_accesses,
+            "remote_bytes": self.remote_bytes,
+            "remote_time": self.remote_time,
+        }
 
 
 @dataclass(frozen=True)
@@ -43,6 +81,9 @@ class Link:
     coherent: bool
     remote_byte_time: float
     remote_access_overhead: float
+    #: Telemetry accumulator; mutable and excluded from equality so two
+    #: identically configured links still compare equal.
+    stats: LinkStats = field(default_factory=LinkStats, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -56,7 +97,11 @@ class Link:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0.0
-        return self.latency + nbytes / self.bandwidth
+        cost = self.latency + nbytes / self.bandwidth
+        self.stats.transfers += 1
+        self.stats.transfer_bytes += nbytes
+        self.stats.transfer_time += cost
+        return cost
 
     def remote_access_time(self, nbytes: int) -> float:
         """Time for a processor to touch ``nbytes`` of remote memory in place."""
@@ -64,7 +109,11 @@ class Link:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0.0
-        return self.remote_access_overhead + nbytes * self.remote_byte_time
+        cost = self.remote_access_overhead + nbytes * self.remote_byte_time
+        self.stats.remote_accesses += 1
+        self.stats.remote_bytes += nbytes
+        self.stats.remote_time += cost
+        return cost
 
 
 def pcie3(*, lanes: int = 16) -> Link:

@@ -24,6 +24,7 @@ expensive on PCIe platforms (the LULESH anti-pattern).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -34,7 +35,12 @@ from .events import Event, EventKind, EventLog
 from .interconnect import Link
 from .pages import NO_PREFERENCE, PageState, contiguous_runs
 
-__all__ = ["UMCostParams", "UnifiedMemoryDriver", "AccessOutcome"]
+__all__ = ["UMCostParams", "UnifiedMemoryDriver", "AccessOutcome", "MetricsHook"]
+
+#: Signature of the driver's metric emission hook: ``hook(name, value,
+#: labels)``.  Kept as a plain callable so :mod:`repro.memsim` stays free
+#: of any dependency on the telemetry package.
+MetricsHook = Callable[[str, float, Mapping[str, str]], None]
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,9 @@ class UnifiedMemoryDriver:
         self.clock = clock
         self.log = log
         self.params = params or UMCostParams()
+        #: Optional telemetry tap (see :data:`MetricsHook`); ``None`` keeps
+        #: the access path free of any telemetry cost.
+        self.metrics_hook: MetricsHook | None = None
         self._states: dict[int, PageState] = {}       # managed alloc base -> state
         self._managed: dict[int, Allocation] = {}
         self._device_pages = 0                        # cudaMalloc residency
@@ -428,7 +437,29 @@ class UnifiedMemoryDriver:
         if proc is Processor.GPU:
             st.last_use[page_idx[st.present[proc, page_idx]]] = self._tick
 
+        if self.metrics_hook is not None:
+            self._emit_outcome(out, proc)
         return out
+
+    def _emit_outcome(self, out: AccessOutcome, proc: Processor) -> None:
+        """Forward one access outcome to the metrics hook."""
+        hook = self.metrics_hook
+        assert hook is not None
+        labels = {"proc": proc.name}
+        for name, value in (
+            ("um_fault_groups", out.fault_groups),
+            ("um_migrated_pages", out.migrated_pages),
+            ("um_duplicated_pages", out.duplicated_pages),
+            ("um_remote_bytes", out.remote_bytes),
+            ("um_invalidated_pages", out.invalidated_pages),
+            ("um_populated_pages", out.populated_pages),
+            ("um_evicted_pages", out.evicted_pages),
+        ):
+            if value:
+                hook(name, float(value), labels)
+        if out.cost:
+            hook("um_access_cost_seconds", out.cost, labels)
+        hook("um_gpu_pages_in_use", float(self.gpu_pages_in_use), {})
 
     # ------------------------------------------------------------------ #
     # internals
@@ -600,3 +631,8 @@ class UnifiedMemoryDriver:
             pages=total_evicted, nbytes=total_evicted * PAGE_SIZE, cost=cost,
             detail="lru-block-eviction",
         ))
+        if self.metrics_hook is not None:
+            self.metrics_hook("um_evicted_pages", float(total_evicted),
+                              {"proc": Processor.GPU.name})
+            self.metrics_hook("um_eviction_cost_seconds", cost,
+                              {"proc": Processor.GPU.name})

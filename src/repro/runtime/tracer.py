@@ -78,6 +78,9 @@ class Tracer(ObserverBase):
         self.transfers: list[TransferRecord] = []
         self.advice: list[AdviceRecord] = []
         self.kernels: list[KernelRecord] = []
+        #: Called with the number of the epoch that just closed whenever
+        #: :meth:`advance_epoch` runs (telemetry epoch markers).
+        self.epoch_hooks: list = []
         self._runtime: "CudaRuntime | None" = None
 
     # ------------------------------------------------------------------ #
@@ -221,7 +224,10 @@ class Tracer(ObserverBase):
         """Close the current epoch: reset live shadows, drop parked ones."""
         self.smt.reset_all()
         self.smt.flush_graveyard()
+        closed = self.epoch
         self.epoch += 1
+        for hook in tuple(self.epoch_hooks):
+            hook(closed)
         return self.epoch
 
     def advice_for(self, alloc: Allocation) -> set[cudaMemoryAdvise]:

@@ -1,0 +1,137 @@
+"""Chrome trace-event export: render a simulated run as a timeline.
+
+The builder accumulates events in the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+understood by Perfetto and ``chrome://tracing``:
+
+* **kernel spans** on the GPU track (``ph: "X"`` complete events),
+* **memcpy / migration / eviction spans** on the interconnect track,
+* **fault-group instants** (``ph: "i"``) on the UM-driver track,
+* **epoch markers** spanning the whole process,
+* **counter series** (``ph: "C"``) such as GPU page residency.
+
+All timestamps come from the simulated clock (:class:`~repro.memsim.SimClock`),
+converted from seconds to the format's microseconds.  One builder can hold
+several sessions; each gets its own ``pid`` so Perfetto renders them as
+separate processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = ["TimelineBuilder", "TRACK_GPU", "TRACK_LINK", "TRACK_DRIVER",
+           "TRACK_HOST", "TRACK_MARKS"]
+
+#: Thread-track ids within one simulated session (one Perfetto row each).
+TRACK_HOST = 1      #: host-side API activity (alloc/free, advice)
+TRACK_GPU = 2       #: kernel executions
+TRACK_LINK = 3      #: interconnect traffic (memcpy, migration, eviction)
+TRACK_DRIVER = 4    #: UM driver activity (faults, populate, map)
+TRACK_MARKS = 5     #: epoch markers and diagnostics
+
+_TRACK_NAMES = {
+    TRACK_HOST: "Host API",
+    TRACK_GPU: "GPU kernels",
+    TRACK_LINK: "Interconnect",
+    TRACK_DRIVER: "UM driver",
+    TRACK_MARKS: "Epochs",
+}
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace microseconds (rounded for stable JSON)."""
+    return round(seconds * 1e6, 3)
+
+
+class TimelineBuilder:
+    """Accumulates trace events and serialises them to timeline JSON."""
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, Any]] = []
+        self._named: set[tuple[int, int | None]] = set()
+
+    # ------------------------------------------------------------------ #
+    # naming / metadata
+
+    def declare_process(self, pid: int, name: str) -> None:
+        """Label a pid (one simulated session) and its standard tracks."""
+        if (pid, None) in self._named:
+            return
+        self._named.add((pid, None))
+        self._events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+        for tid, tname in _TRACK_NAMES.items():
+            self._events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+            self._events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+
+    # ------------------------------------------------------------------ #
+    # event kinds
+
+    def span(self, name: str, cat: str, start_s: float, dur_s: float,
+             *, pid: int = 1, tid: int = TRACK_GPU,
+             args: Mapping[str, Any] | None = None) -> None:
+        """A complete event (``ph: "X"``) from ``start_s`` for ``dur_s``."""
+        ev: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": _us(start_s), "dur": max(_us(dur_s), 0.001),
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = dict(args)
+        self._events.append(ev)
+
+    def instant(self, name: str, cat: str, ts_s: float,
+                *, pid: int = 1, tid: int = TRACK_DRIVER, scope: str = "t",
+                args: Mapping[str, Any] | None = None) -> None:
+        """An instant event (``ph: "i"``) at ``ts_s``."""
+        ev: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "i", "s": scope,
+            "ts": _us(ts_s), "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = dict(args)
+        self._events.append(ev)
+
+    def counter(self, name: str, ts_s: float, values: Mapping[str, float],
+                *, pid: int = 1) -> None:
+        """A counter sample (``ph: "C"``) -- Perfetto draws it as an area."""
+        self._events.append({
+            "name": name, "ph": "C", "ts": _us(ts_s),
+            "pid": pid, "tid": 0, "args": dict(values),
+        })
+
+    def epoch_marker(self, epoch: int, ts_s: float, *, pid: int = 1,
+                     args: Mapping[str, Any] | None = None) -> None:
+        """Mark the close of a tracing epoch (process-scoped instant)."""
+        self.instant(f"epoch {epoch}", "epoch", ts_s, pid=pid,
+                     tid=TRACK_MARKS, scope="p", args=args)
+
+    # ------------------------------------------------------------------ #
+    # output
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_dict(self, *, other_data: Mapping[str, Any] | None = None) -> dict:
+        """The full trace object (``traceEvents`` plus metadata)."""
+        return {
+            "traceEvents": sorted(self._events,
+                                  key=lambda e: (e.get("ts", -1.0), e["pid"])),
+            "displayTimeUnit": "ms",
+            "otherData": dict(other_data or {}),
+        }
+
+    def to_json(self, *, other_data: Mapping[str, Any] | None = None,
+                indent: int | None = None) -> str:
+        """Serialised timeline, ready for Perfetto / ``chrome://tracing``."""
+        return json.dumps(self.to_dict(other_data=other_data), indent=indent)

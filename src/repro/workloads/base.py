@@ -20,6 +20,7 @@ from ..analysis import Diagnosis
 from ..cudart import CudaRuntime
 from ..memsim import PLATFORMS, Platform
 from ..runtime import Tracer
+from ..telemetry import context as telemetry_context
 
 __all__ = ["Session", "WorkloadRun", "make_session"]
 
@@ -81,4 +82,7 @@ def make_session(
         plat = platform
     runtime = CudaRuntime(plat, materialize=materialize)
     tracer = Tracer().attach(runtime) if trace else None
+    recorder = telemetry_context.current_recorder()
+    if recorder is not None:
+        recorder.attach(runtime, tracer)
     return Session(platform=plat, runtime=runtime, tracer=tracer)

@@ -275,3 +275,59 @@ class TestNvlinkPlatformIntegration:
             return rt.platform.clock.now
 
         assert run(intel_pascal()) > run(power9_volta())
+
+
+class TestObserverLifecycle:
+    def test_subscribe_is_idempotent(self, rt):
+        rec = Recorder()
+        rt.subscribe(rec)
+        rt.subscribe(rec)
+        assert rt.observers.count(rec) == 1
+        rt.malloc(64)
+        assert len(rec.allocs) == 1
+
+    def test_tracer_double_attach_is_idempotent(self, rt):
+        from repro.runtime import Tracer
+
+        tracer = Tracer().attach(rt)
+        tracer.attach(rt)
+        assert rt.observers.count(tracer) == 1
+        tracer.detach()
+        assert tracer not in rt.observers
+
+    def test_unsubscribe_self_while_publishing(self, rt):
+        """An observer may drop out from inside a callback without
+        breaking the in-flight notification round."""
+
+        class OneShot(ObserverBase):
+            def __init__(self):
+                self.seen = 0
+
+            def on_alloc(self, alloc):
+                self.seen += 1
+                rt.unsubscribe(self)
+
+        one_shot = OneShot()
+        tail = Recorder()
+        rt.subscribe(one_shot)
+        rt.subscribe(tail)     # after one_shot in the observer list
+        rt.malloc(64)
+        rt.malloc(64)
+        assert one_shot.seen == 1          # dropped out after the first event
+        assert len(tail.allocs) == 2       # later observers still notified
+
+    def test_unsubscribe_other_while_publishing(self, rt):
+        victim = Recorder()
+
+        class Assassin(ObserverBase):
+            def on_alloc(self, alloc):
+                rt.unsubscribe(victim)
+
+        rt.subscribe(Assassin())
+        rt.subscribe(victim)
+        rt.malloc(64)
+        # The snapshot iteration still delivers the in-flight event...
+        assert len(victim.allocs) == 1
+        rt.malloc(64)
+        # ...but nothing afterwards.
+        assert len(victim.allocs) == 1

@@ -102,3 +102,53 @@ class TestOnLulesh:
         # The duplicate-domain fix removes the struct-page storms; only
         # the per-timestep temporaries' first-touch faults remain.
         assert steady_faults("duplicate") < 0.7 * steady_faults("baseline")
+
+
+class TestAttributionRegressions:
+    def test_out_of_order_completion_matches_by_identity(self, setup):
+        """Stream overlap can complete kernels out of launch order; each
+        completion must pop its own launch snapshot, not the newest one."""
+        rt, prof = setup
+        from repro.memsim import Event, EventKind, Processor
+
+        prof.on_kernel_launch("a", 1, 1)
+        rt.platform.events.record(
+            Event(EventKind.PAGE_FAULT, 0.0, Processor.GPU, pages=1))
+        prof.on_kernel_launch("b", 1, 1)
+        prof.on_kernel_complete("b", 1, 1, 0.001)   # out of launch order
+        prof.on_kernel_complete("a", 1, 1, 0.001)
+
+        a = next(p for p in prof.profiles if p.name == "a")
+        b = next(p for p in prof.profiles if p.name == "b")
+        assert a.fault_groups == 1   # fault happened after a's launch...
+        assert b.fault_groups == 0   # ...but before b's
+
+    def test_reset_mid_launch_drops_stale_snapshot(self, setup):
+        rt, prof = setup
+        prof.on_kernel_launch("stale", 1, 1)
+        prof.reset()
+        prof.on_kernel_complete("stale", 1, 1, 0.001)
+        assert prof.profiles == []   # no snapshot left to attribute to
+        rt.launch(lambda ctx: None, 1, 1, name="fresh")
+        assert prof.profiles[0].launch_index == 1
+
+    def test_eviction_inside_kernel_attributed_to_it(self):
+        """A kernel whose working set overflows GPU memory triggers
+        evictions mid-launch; the profiler must charge them to that kernel."""
+        from repro.memsim import PAGE_SIZE
+
+        rt = CudaRuntime(intel_pascal(gpu_memory_bytes=8 * PAGE_SIZE),
+                         materialize=False)
+        prof = KernelProfiler(rt.platform)
+        rt.subscribe(prof)
+        views = [rt.malloc_managed(4 * PAGE_SIZE, label=f"m{i}").typed(np.float32)
+                 for i in range(3)]  # 12 managed pages vs 8 of GPU memory
+        for i, v in enumerate(views):
+            rt.launch(lambda ctx, d: d.write(0, None, hi=len(d)),
+                      2, 128, v, name=f"w{i}")
+
+        by_name = {p.name: p for p in prof.profiles}
+        assert by_name["w0"].evicted_pages == 0
+        # The third working set does not fit: its kernel pays the eviction.
+        assert by_name["w2"].evicted_pages > 0
+        assert by_name["w2"].memory_time > 0

@@ -37,3 +37,15 @@ class TestCliCsvFlag:
         parsed = list(csv.DictReader(io.StringIO(content)))
         panels = {row["panel"] for row in parsed}
         assert panels == {"a", "b"}
+
+
+class TestTelemetryDir:
+    def test_writes_per_experiment_artifacts(self, tmp_path, capsys):
+        from repro.telemetry import context as telemetry_context
+
+        assert main(["fig7", "--telemetry-dir", str(tmp_path)]) == 0
+        exp_dir = tmp_path / "fig7"
+        for artifact in ("timeline.json", "events.jsonl", "metrics.prom"):
+            assert (exp_dir / artifact).stat().st_size > 0
+        # The context must not leak into later runs.
+        assert telemetry_context.current_recorder() is None

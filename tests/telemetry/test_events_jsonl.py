@@ -1,0 +1,73 @@
+"""Tests for the structured JSONL stream and its manifest protocol."""
+
+import json
+
+import pytest
+
+from repro.memsim import Event, EventKind, Processor, intel_pascal
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    JsonlWriter,
+    StringJsonl,
+    encode_driver_event,
+    read_jsonl,
+    run_manifest,
+)
+
+
+class TestManifest:
+    def test_describes_platform_and_run(self):
+        m = run_manifest(intel_pascal(), workload="sw", config={"n": 160})
+        assert m["type"] == "manifest"
+        assert m["schema_version"] == SCHEMA_VERSION
+        assert m["workload"] == "sw"
+        assert m["config"] == {"n": 160}
+        assert m["platform"]["name"] == "intel-pascal"
+        assert m["platform"]["gpu_memory_bytes"] > 0
+        assert m["platform"]["link_coherent"] is False
+
+    def test_platform_optional(self):
+        assert "platform" not in run_manifest()
+
+
+class TestWriter:
+    def test_manifest_must_come_first(self):
+        w = StringJsonl()
+        with pytest.raises(ValueError):
+            w.write({"type": "kernel", "name": "k"})
+        w.write(run_manifest())
+        w.write({"type": "kernel", "name": "k"})
+        assert w.records == 2
+
+    def test_records_need_a_type(self):
+        w = StringJsonl()
+        with pytest.raises(ValueError):
+            w.write({"name": "untyped"})
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlWriter(path) as w:
+            w.write(run_manifest(workload="x"))
+            w.write({"type": "epoch", "epoch": 1})
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["manifest", "epoch"]
+        assert records[0]["workload"] == "x"
+
+    def test_enums_encoded_by_value(self):
+        w = StringJsonl()
+        w.write(run_manifest())
+        w.write({"type": "x", "kind": EventKind.MIGRATION})
+        last = json.loads(w.getvalue().splitlines()[-1])
+        assert last["kind"] == "migration"
+
+
+class TestDriverEventEncoding:
+    def test_flat_record(self):
+        ev = Event(EventKind.PAGE_FAULT, 0.5, Processor.GPU, pages=4,
+                   nbytes=0, cost=0.001, detail="x")
+        rec = encode_driver_event(ev)
+        assert rec == {
+            "type": "driver_event", "kind": "page_fault", "t": 0.5,
+            "proc": "GPU", "pages": 4, "bytes": 0, "cost": 0.001,
+            "detail": "x",
+        }

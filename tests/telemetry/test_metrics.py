@@ -1,0 +1,116 @@
+"""Tests for the labeled metrics registry and its Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("faults_total", "fault groups")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3.0
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("pages_total")
+        c.inc(4, proc="GPU")
+        c.inc(1, proc="CPU")
+        assert c.value(proc="GPU") == 4.0
+        assert c.value(proc="CPU") == 1.0
+        assert c.value(proc="TPU") == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x_total")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(b="2", a="1") == 2.0
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("pages_in_use")
+        g.set(10)
+        g.inc(-3)
+        assert g.value() == 7.0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_in_exposition(self):
+        h = Histogram("lat_seconds", buckets=(0.001, 0.1, math.inf))
+        h.observe(0.0005)
+        h.observe(0.05)
+        h.observe(5.0)
+        text = "\n".join(h.expose())
+        assert 'lat_seconds_bucket{le="0.001"} 1' in text
+        assert 'lat_seconds_bucket{le="0.1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_sum_tracks_observations(self):
+        h = Histogram("s_seconds", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(0.5)
+        assert "s_seconds_sum 0.75" in "\n".join(h.expose())
+
+    def test_inf_bucket_always_present(self):
+        h = Histogram("t_seconds", buckets=(1.0, 2.0))
+        assert h.bounds[-1] == math.inf
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("faults_total")
+        b = reg.counter("faults_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_prefix_applied(self):
+        reg = MetricsRegistry("xplacer_")
+        reg.counter("faults_total").inc(1)
+        assert "faults_total" in reg
+        assert "xplacer_faults_total 1" in reg.to_prometheus()
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("1bad")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(2, proc="GPU")
+        reg.gauge("b").set(1.5)
+        snap = reg.snapshot()
+        assert snap["a_total"] == {'{proc="GPU"}': 2.0}
+        assert snap["b"] == {"": 1.5}
+
+    def test_exposition_has_help_and_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "things").inc(1)
+        reg.histogram("h_seconds").observe(0.01)
+        text = reg.to_prometheus()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE h_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(1, k='say "hi"\n')
+        assert r'{k="say \"hi\"\n"}' in reg.to_prometheus()

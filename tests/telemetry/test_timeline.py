@@ -1,0 +1,94 @@
+"""Tests for the Chrome trace-event timeline builder."""
+
+import json
+
+from repro.telemetry import (
+    TRACK_GPU,
+    TRACK_LINK,
+    TRACK_MARKS,
+    TimelineBuilder,
+)
+
+
+class TestEvents:
+    def test_span_shape(self):
+        tl = TimelineBuilder()
+        tl.span("kernel_a", "kernel", 0.001, 0.0005, pid=1, tid=TRACK_GPU,
+                args={"grid": 8})
+        (ev,) = tl.to_dict()["traceEvents"]
+        assert ev["ph"] == "X"
+        assert ev["name"] == "kernel_a"
+        assert ev["ts"] == 1000.0          # 1 ms -> 1000 us
+        assert ev["dur"] == 500.0
+        assert (ev["pid"], ev["tid"]) == (1, TRACK_GPU)
+        assert ev["args"]["grid"] == 8
+
+    def test_zero_duration_span_stays_visible(self):
+        tl = TimelineBuilder()
+        tl.span("blip", "memory", 0.0, 0.0)
+        (ev,) = tl.to_dict()["traceEvents"]
+        assert ev["dur"] > 0
+
+    def test_instant_shape(self):
+        tl = TimelineBuilder()
+        tl.instant("page_fault", "memory", 0.002)
+        (ev,) = tl.to_dict()["traceEvents"]
+        assert ev["ph"] == "i"
+        assert ev["s"] == "t"
+        assert ev["ts"] == 2000.0
+
+    def test_counter_shape(self):
+        tl = TimelineBuilder()
+        tl.counter("gpu_pages_in_use", 0.5, {"pages": 12})
+        (ev,) = tl.to_dict()["traceEvents"]
+        assert ev["ph"] == "C"
+        assert ev["args"] == {"pages": 12}
+
+    def test_epoch_marker_is_process_scoped(self):
+        tl = TimelineBuilder()
+        tl.epoch_marker(3, 0.1)
+        (ev,) = tl.to_dict()["traceEvents"]
+        assert ev["name"] == "epoch 3"
+        assert ev["s"] == "p"
+        assert ev["tid"] == TRACK_MARKS
+
+
+class TestProcessMetadata:
+    def test_declare_process_emits_names_and_sort_order(self):
+        tl = TimelineBuilder()
+        tl.declare_process(1, "intel-pascal session 1")
+        events = tl.to_dict()["traceEvents"]
+        kinds = {e["name"] for e in events}
+        assert kinds == {"process_name", "thread_name", "thread_sort_index"}
+        pn = next(e for e in events if e["name"] == "process_name")
+        assert pn["ph"] == "M"
+        assert pn["args"]["name"] == "intel-pascal session 1"
+        link_name = next(e for e in events if e["name"] == "thread_name"
+                         and e["tid"] == TRACK_LINK)
+        assert link_name["args"]["name"] == "Interconnect"
+
+    def test_declare_process_idempotent(self):
+        tl = TimelineBuilder()
+        tl.declare_process(1, "a")
+        before = len(tl)
+        tl.declare_process(1, "b")
+        assert len(tl) == before
+
+
+class TestOutput:
+    def test_events_sorted_by_timestamp(self):
+        tl = TimelineBuilder()
+        tl.span("late", "x", 0.5, 0.1)
+        tl.span("early", "x", 0.1, 0.1)
+        names = [e["name"] for e in tl.to_dict()["traceEvents"]]
+        assert names == ["early", "late"]
+
+    def test_json_roundtrip_and_top_level_keys(self):
+        tl = TimelineBuilder()
+        tl.span("k", "kernel", 0.0, 0.001)
+        doc = json.loads(tl.to_json(other_data={"workload": "sw"}))
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["workload"] == "sw"
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(ev) or ev["ph"] == "M"
