@@ -3,11 +3,16 @@
 from repro.evalx import fig11
 
 
-def test_fig11_pathfinder_speedups(once):
+def test_fig11_pathfinder_speedups(once, bench_record):
     result = once(fig11, cols=500_000, rows=(200, 600, 1000))
     print("\n" + result.text)
     pascal = [r for r in result.rows if r["platform"] == "intel-pascal"]
     power9 = [r for r in result.rows if r["platform"] == "power9-volta"]
+    bench_record(
+        "fig11_pathfinder_speedup",
+        pascal_max=round(max(r["speedup"] for r in pascal), 3),
+        power9_max=round(max(r["speedup"] for r in power9), 3),
+    )
     # Paper: up to 1.13x faster on Intel+Pascal ...
     assert all(1.0 < r["speedup"] < 1.25 for r in pascal)
     assert max(r["speedup"] for r in pascal) > 1.08

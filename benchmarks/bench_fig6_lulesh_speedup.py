@@ -3,12 +3,18 @@
 from repro.evalx import fig6
 
 
-def test_fig6_lulesh_speedups(once):
+def test_fig6_lulesh_speedups(once, bench_record):
     # 16 timesteps, the paper's Table III configuration; fewer iterations
     # under-amortize the one-time array migration and depress speedups.
     result = once(fig6, sizes=(8, 16, 32, 48), iterations=16)
     print("\n" + result.text)
     by = {(r["platform"], r["size"]): r for r in result.rows}
+    bench_record(
+        "fig6_lulesh_speedup",
+        pascal_duplicate_48=round(by[("intel-pascal", 48)]["duplicate"], 3),
+        volta_duplicate_48=round(by[("intel-volta", 48)]["duplicate"], 3),
+        power9_duplicate_48=round(by[("power9-volta", 48)]["duplicate"], 3),
+    )
 
     # Intel nodes: large speedups at size 48 (paper: 2.75x-3.7x band).
     for plat in ("intel-pascal", "intel-volta"):

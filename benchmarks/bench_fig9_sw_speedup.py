@@ -3,11 +3,17 @@
 from repro.evalx import fig9
 
 
-def test_fig9_sw_speedups(once):
+def test_fig9_sw_speedups(once, bench_record):
     # Paper sizes / 20 with GPU memory / 400 keeps the bench quick while
     # preserving the 45000 -> 46000 oversubscription crossover.
     result = once(fig9, scale=20)
     print("\n" + result.text)
+    bench_record(
+        "fig9_sw_speedup",
+        **{f"{r['platform']}_max": round(r["speedup"], 3)
+           for plat in ("intel-pascal", "power9-volta")
+           for r in [max((x for x in result.rows if x["platform"] == plat),
+                         key=lambda x: x["speedup"])]})
     for plat in ("intel-pascal", "power9-volta"):
         rows = [r for r in result.rows if r["platform"] == plat]
         fits = [r for r in rows if not r["oversubscribed"]]

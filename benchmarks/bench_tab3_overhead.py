@@ -11,10 +11,13 @@ order of magnitude band the paper reports), not the absolute ratio.
 from repro.evalx import tab3
 
 
-def test_tab3_instrumentation_overhead(once):
+def test_tab3_instrumentation_overhead(once, bench_record):
     result = once(tab3, quick=True, repeats=2)
     print("\n" + result.text)
     ratios = [r["overhead_x"] for r in result.rows]
+    bench_record("tab3_overhead",
+                 mean_overhead_x=round(sum(ratios) / len(ratios), 2),
+                 max_overhead_x=round(max(ratios), 2))
     # Tracing must cost measurable extra time on every benchmark...
     assert all(x > 1.0 for x in ratios)
     # ...and stay within a sane band (paper: 5x-20x for compiled code).

@@ -4,9 +4,21 @@ Each benchmark regenerates one paper artifact (figure or table) through
 the evaluation harness and asserts the *shape* invariants the paper
 reports -- who wins, by roughly what factor, where crossovers fall.
 Simulated experiments are deterministic, so a single round suffices.
+
+Benchmarks can additionally publish headline numbers through the
+``bench_record`` fixture; everything recorded during a session is merged
+into ``benchmarks/BENCH_heatmap.json`` (machine-readable, keyed by record
+name) so dashboards and CI diffs can track them without parsing pytest
+output.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+_RECORDS: list[dict] = []
+_BENCH_JSON = Path(__file__).parent / "BENCH_heatmap.json"
 
 
 @pytest.fixture
@@ -17,3 +29,29 @@ def once(benchmark):
         return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
 
     return run
+
+
+@pytest.fixture
+def bench_record():
+    """Publish named headline numbers into ``BENCH_heatmap.json``."""
+
+    def record(name: str, **numbers) -> None:
+        _RECORDS.append({"name": name, **numbers})
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's records into the benchmark JSON (by name)."""
+    if not _RECORDS:
+        return
+    merged: dict[str, dict] = {}
+    if _BENCH_JSON.exists():
+        try:
+            merged = {r["name"]: r for r in json.loads(_BENCH_JSON.read_text())}
+        except (ValueError, KeyError, TypeError):
+            merged = {}
+    for r in _RECORDS:
+        merged[r["name"]] = r
+    rows = sorted(merged.values(), key=lambda r: r["name"])
+    _BENCH_JSON.write_text(json.dumps(rows, indent=2) + "\n")

@@ -65,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="record telemetry for every session an "
                              "experiment opens; writes DIR/<id>/"
                              "{timeline.json,events.jsonl,metrics.prom}")
+    parser.add_argument("--report", action="store_true",
+                        help="with --telemetry-dir: also record access "
+                             "heat and render DIR/<id>/report.html")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -85,17 +88,23 @@ def main(argv: list[str] | None = None) -> int:
         csv_dir.mkdir(parents=True, exist_ok=True)
 
     telemetry_dir = Path(args.telemetry_dir) if args.telemetry_dir else None
+    if args.report and telemetry_dir is None:
+        parser.error("--report requires --telemetry-dir")
 
     for name in ids:
         kwargs = {"quick": True} if (args.quick and name == "tab3") else {}
         recorder = None
+        heat = None
         if telemetry_dir is not None:
             from ..telemetry import JsonlWriter, TelemetryRecorder
             from ..telemetry import context as telemetry_context
 
             exp_dir = telemetry_dir / name
+            if args.report:
+                from ..heatmap.store import HeatStore
+                heat = HeatStore()
             recorder = TelemetryRecorder(
-                jsonl=JsonlWriter(exp_dir / "events.jsonl"))
+                jsonl=JsonlWriter(exp_dir / "events.jsonl"), heat=heat)
             recorder.workload = name
             recorder.config = dict(kwargs)
             telemetry_context.install(recorder)
@@ -106,6 +115,13 @@ def main(argv: list[str] | None = None) -> int:
                 telemetry_context.uninstall()
                 recorder.detach()
                 paths = recorder.flush(exp_dir)
+                if heat is not None:
+                    from ..heatmap.html import build_report
+
+                    report = build_report(
+                        workload=name, platform="(per experiment)",
+                        store=heat, metrics=recorder.metrics.snapshot())
+                    (exp_dir / "report.html").write_text(report)
                 print(f"telemetry: {paths['timeline'].parent}")
         print(result)
         if csv_dir is not None:

@@ -1,0 +1,5 @@
+"""``python -m repro.heatmap`` -> the ``repro-report`` CLI."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""The heat store: per-epoch access counts at word-bucket granularity.
+
+One :class:`AllocationHeat` tracks one allocation.  Words are folded into
+at most ``nbuckets`` equal-width buckets so the store's footprint is
+independent of allocation size; within an epoch the store accumulates a
+``(4, nbuckets)`` int64 matrix -- one row per channel (CPU read, CPU
+write, GPU read, GPU write) -- plus a per-source-site bucket vector so
+hot regions can name the code that made them hot.  A diagnostic epoch
+reset (:meth:`HeatStore.advance_epoch`) freezes the accumulator into an
+:class:`EpochHeat` snapshot; the sequence of snapshots is the temporal
+heatmap the renderers draw.
+
+All bucket updates are O(nbuckets) or O(len(indices)) numpy operations --
+no per-word Python loops, matching the shadow-memory discipline.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..memsim import Allocation, Processor
+
+__all__ = [
+    "CHANNELS",
+    "AllocationHeat",
+    "EpochHeat",
+    "HeatStore",
+    "SourceSite",
+    "OTHER_SITE",
+]
+
+#: Bytes per traced word (mirrors :data:`repro.runtime.flags.WORD_SIZE`;
+#: duplicated here so the store never imports the runtime package).
+WORD_SIZE = 4
+
+#: Channel order of every ``counts`` matrix row.
+CHANNELS = ("cpu_read", "cpu_write", "gpu_read", "gpu_write")
+
+
+@dataclass(frozen=True, order=True)
+class SourceSite:
+    """One attributed call site (``file:line``, optionally a function)."""
+
+    file: str
+    line: int
+    func: str = ""
+
+    @property
+    def label(self) -> str:
+        """``file:line`` (plus the function when known)."""
+        base = f"{self.file}:{self.line}" if self.line else self.file
+        return f"{base} ({self.func})" if self.func else base
+
+
+#: Bucket for sites beyond an allocation's ``max_sites`` budget.
+OTHER_SITE = SourceSite("<other>", 0)
+
+
+def _channel(proc: Processor, is_write: bool) -> int:
+    gpu = proc is Processor.GPU
+    return (2 if gpu else 0) + (1 if is_write else 0)
+
+
+@dataclass(frozen=True)
+class EpochHeat:
+    """Frozen heat of one allocation over one closed epoch."""
+
+    epoch: int
+    counts: np.ndarray  #: ``(4, nbuckets)`` int64, rows per :data:`CHANNELS`
+    sites: dict[SourceSite, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def heat(self) -> np.ndarray:
+        """Combined heat per bucket (all channels summed)."""
+        return self.counts.sum(axis=0)
+
+    @property
+    def total(self) -> int:
+        """Total word-accesses recorded this epoch."""
+        return int(self.counts.sum())
+
+    def channel(self, name: str) -> np.ndarray:
+        """One channel's bucket vector by :data:`CHANNELS` name."""
+        return self.counts[CHANNELS.index(name)]
+
+    def top_sites(self, k: int = 5, lo: int = 0,
+                  hi: int | None = None) -> list[tuple[SourceSite, int]]:
+        """Top contributing sites over buckets ``[lo, hi)``."""
+        totals = [(site, int(vec[lo:hi].sum())) for site, vec in self.sites.items()]
+        totals = [(s, n) for s, n in totals if n > 0]
+        totals.sort(key=lambda sn: (-sn[1], sn[0]))
+        return totals[:k]
+
+
+class AllocationHeat:
+    """Heat history of one allocation (open accumulator + closed epochs)."""
+
+    __slots__ = ("label", "base", "serial", "size", "nwords", "nbuckets",
+                 "max_sites", "epochs", "_counts", "_sites",
+                 "_starts", "_ends")
+
+    def __init__(self, alloc: Allocation, *, nbuckets: int = 64,
+                 max_sites: int = 32) -> None:
+        self.label = alloc.label or f"alloc@{alloc.base:#x}"
+        self.base = alloc.base
+        self.serial = alloc.serial
+        self.size = alloc.size
+        self.nwords = max(1, -(-alloc.size // WORD_SIZE))
+        self.nbuckets = max(1, min(nbuckets, self.nwords))
+        self.max_sites = max_sites
+        self.epochs: list[EpochHeat] = []
+        self._counts = np.zeros((len(CHANNELS), self.nbuckets), np.int64)
+        self._sites: dict[SourceSite, np.ndarray] = {}
+        # Fair-division bucket boundaries: bucket b covers words
+        # [starts[b], ends[b]); word w lands in bucket w*nbuckets//nwords.
+        b = np.arange(self.nbuckets + 1, dtype=np.int64)
+        bounds = (b * self.nwords) // self.nbuckets
+        self._starts = bounds[:-1]
+        self._ends = bounds[1:]
+
+    # ------------------------------------------------------------------ #
+    # geometry
+
+    def bucket_word_range(self, bucket: int) -> tuple[int, int]:
+        """Word range ``[lo, hi)`` a bucket covers."""
+        return int(self._starts[bucket]), int(self._ends[bucket])
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def add(self, channel: int, lo: int, hi: int,
+            idx: np.ndarray | None = None,
+            site: SourceSite | None = None) -> None:
+        """Accumulate one access over words ``[lo, hi)`` (or ``idx``)."""
+        if idx is not None:
+            contrib = np.bincount((idx * self.nbuckets) // self.nwords,
+                                  minlength=self.nbuckets)
+        else:
+            contrib = np.clip(np.minimum(hi, self._ends)
+                              - np.maximum(lo, self._starts), 0, None)
+        self._counts[channel] += contrib
+        if site is not None:
+            vec = self._sites.get(site)
+            if vec is None:
+                if len(self._sites) >= self.max_sites:
+                    site = OTHER_SITE
+                    vec = self._sites.get(site)
+                if vec is None:
+                    vec = self._sites[site] = np.zeros(self.nbuckets, np.int64)
+            vec += contrib
+
+    def freeze(self, epoch: int) -> EpochHeat | None:
+        """Close the accumulator into an :class:`EpochHeat` (if non-empty)."""
+        if not self._counts.any():
+            self._sites.clear()
+            return None
+        snap = EpochHeat(epoch=epoch, counts=self._counts.copy(),
+                         sites={s: v.copy() for s, v in
+                                sorted(self._sites.items())})
+        self.epochs.append(snap)
+        self._counts[:] = 0
+        self._sites.clear()
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def touched(self) -> bool:
+        """Whether any heat was ever recorded (closed or pending)."""
+        return bool(self.epochs) or bool(self._counts.any())
+
+    @property
+    def total(self) -> int:
+        """Word-accesses across all closed epochs."""
+        return sum(e.total for e in self.epochs)
+
+    def matrix(self, channel: str | None = None) -> np.ndarray:
+        """``(n_epochs, nbuckets)`` heat matrix over closed epochs."""
+        if not self.epochs:
+            return np.zeros((0, self.nbuckets), np.int64)
+        if channel is None:
+            return np.stack([e.heat for e in self.epochs])
+        return np.stack([e.channel(channel) for e in self.epochs])
+
+    def current_top_sites(self, k: int = 5) -> list[tuple[SourceSite, int]]:
+        """Top sites of the *open* accumulator (for diagnostics output)."""
+        totals = [(s, int(v.sum())) for s, v in self._sites.items()]
+        totals = [(s, n) for s, n in totals if n > 0]
+        totals.sort(key=lambda sn: (-sn[1], sn[0]))
+        return totals[:k]
+
+    def hottest_region(self, k_sites: int = 5):
+        """The hottest (epoch, word-range) and the sites that heated it.
+
+        Returns ``None`` when no epoch recorded heat; otherwise a dict with
+        ``epoch``, ``word_lo``/``word_hi``, ``peak`` (word-accesses in the
+        peak bucket) and ``sites`` (top ``(SourceSite, count)`` pairs over
+        the region).  The region is the contiguous bucket run around the
+        global peak whose heat stays above half the peak.
+        """
+        best: tuple[int, int] | None = None
+        peak = 0
+        for ei, e in enumerate(self.epochs):
+            h = e.heat
+            b = int(h.argmax())
+            if h[b] > peak:
+                peak = int(h[b])
+                best = (ei, b)
+        if best is None or peak == 0:
+            return None
+        ei, b = best
+        heat = self.epochs[ei].heat
+        lo = b
+        while lo > 0 and heat[lo - 1] * 2 >= peak:
+            lo -= 1
+        hi = b + 1
+        while hi < self.nbuckets and heat[hi] * 2 >= peak:
+            hi += 1
+        return {
+            "epoch": self.epochs[ei].epoch,
+            "word_lo": int(self._starts[lo]),
+            "word_hi": int(self._ends[hi - 1]),
+            "bucket_lo": lo,
+            "bucket_hi": hi,
+            "peak": peak,
+            "sites": self.epochs[ei].top_sites(k_sites, lo, hi),
+        }
+
+
+class HeatStore:
+    """Per-allocation temporal heat for one traced run.
+
+    :param nbuckets: word buckets per allocation (spatial resolution).
+    :param max_sites: distinct source sites tracked per allocation per
+        epoch; overflow folds into ``<other>``.
+    :param attribute: when a record carries no explicit site, walk the
+        Python stack for the first frame outside the simulator (the
+        workload line that made the access).  Disable for minimum
+        overhead heat-only profiling.
+    """
+
+    def __init__(self, *, nbuckets: int = 64, max_sites: int = 32,
+                 attribute: bool = True) -> None:
+        self.nbuckets = nbuckets
+        self.max_sites = max_sites
+        self.attribute = attribute
+        self.epochs_closed: list[int] = []
+        self.records = 0
+        self._allocs: dict[tuple[int, int], AllocationHeat] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def track(self, alloc: Allocation) -> AllocationHeat:
+        """The (lazily created) heat record for ``alloc``."""
+        key = (alloc.base, alloc.serial)
+        heat = self._allocs.get(key)
+        if heat is None:
+            heat = self._allocs[key] = AllocationHeat(
+                alloc, nbuckets=self.nbuckets, max_sites=self.max_sites)
+        return heat
+
+    def peek(self, alloc: Allocation) -> AllocationHeat | None:
+        """The heat record for ``alloc`` if it exists (never creates one)."""
+        return self._allocs.get((alloc.base, alloc.serial))
+
+    def record(self, alloc: Allocation, proc: Processor, *, is_write: bool,
+               lo: int = 0, hi: int = 0, idx: np.ndarray | None = None,
+               site: SourceSite | None = None) -> None:
+        """Accumulate one traced access (word range or word indices)."""
+        if site is None and self.attribute:
+            from .attribution import caller_site
+            site = caller_site()
+        self.records += 1
+        self.track(alloc).add(_channel(proc, is_write), lo, hi, idx, site)
+
+    def advance_epoch(self, closed_epoch: int) -> None:
+        """Freeze every open accumulator as epoch ``closed_epoch``."""
+        for heat in self._allocs.values():
+            heat.freeze(closed_epoch)
+        self.epochs_closed.append(closed_epoch)
+
+    def flush_current(self) -> None:
+        """Freeze residual heat that never saw a diagnostic reset."""
+        epoch = (self.epochs_closed[-1] + 1) if self.epochs_closed else 0
+        pending = [h for h in self._allocs.values() if h._counts.any()]
+        if pending:
+            self.advance_epoch(epoch)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def allocations(self) -> list[AllocationHeat]:
+        """Touched allocations, sorted by label then base (deterministic)."""
+        return sorted((h for h in self._allocs.values() if h.touched),
+                      key=lambda h: (h.label, h.base, h.serial))
+
+    def __len__(self) -> int:
+        return len(self._allocs)
+
+    @property
+    def total(self) -> int:
+        """Word-accesses across every allocation's closed epochs."""
+        return sum(h.total for h in self._allocs.values())
+
+    # ------------------------------------------------------------------ #
+    # exports
+
+    def to_csv(self) -> str:
+        """Long-form CSV: one row per (allocation, epoch, bucket)."""
+        out = io.StringIO()
+        out.write("allocation,epoch,bucket,word_lo,word_hi,"
+                  + ",".join(CHANNELS) + ",top_site\n")
+        for heat in self.allocations():
+            for e in heat.epochs:
+                tops = {}
+                for site, vec in e.sites.items():
+                    for b in np.flatnonzero(vec):
+                        cur = tops.get(int(b))
+                        if cur is None or vec[b] > cur[1] or \
+                                (vec[b] == cur[1] and site < cur[0]):
+                            tops[int(b)] = (site, int(vec[b]))
+                for b in range(heat.nbuckets):
+                    if not e.counts[:, b].any():
+                        continue
+                    lo, hi = heat.bucket_word_range(b)
+                    vals = ",".join(str(int(v)) for v in e.counts[:, b])
+                    site = tops.get(b)
+                    out.write(f"{heat.label},{e.epoch},{b},{lo},{hi},{vals},"
+                              f"{site[0].label if site else ''}\n")
+        return out.getvalue()
+
+    def to_npz(self, path: str | Path) -> Path:
+        """Write all heat matrices to a compressed ``.npz`` archive.
+
+        Keys: ``a<i>_counts`` (``(n_epochs, 4, nbuckets)`` int64) and
+        ``a<i>_epochs`` per allocation, plus ``labels``, ``nwords`` and
+        ``epochs_closed`` index arrays.
+        """
+        path = Path(path)
+        allocs = self.allocations()
+        arrays: dict[str, np.ndarray] = {
+            "labels": np.array([h.label for h in allocs]),
+            "nwords": np.array([h.nwords for h in allocs], np.int64),
+            "epochs_closed": np.array(self.epochs_closed, np.int64),
+            "channels": np.array(CHANNELS),
+        }
+        for i, heat in enumerate(allocs):
+            arrays[f"a{i}_counts"] = (
+                np.stack([e.counts for e in heat.epochs])
+                if heat.epochs else
+                np.zeros((0, len(CHANNELS), heat.nbuckets), np.int64))
+            arrays[f"a{i}_epochs"] = np.array(
+                [e.epoch for e in heat.epochs], np.int64)
+        np.savez_compressed(path, **arrays)
+        return path

@@ -250,6 +250,13 @@ class Parser:
         return block
 
     def parse_statement(self) -> A.Stmt:
+        line = self.cur.line
+        stmt = self._parse_statement()
+        if not stmt.line:
+            stmt.line = line
+        return stmt
+
+    def _parse_statement(self) -> A.Stmt:
         tok = self.cur
         if tok.kind is TokenKind.PRAGMA:
             self.next()

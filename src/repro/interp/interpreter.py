@@ -23,6 +23,7 @@ import io
 from typing import Any
 
 from ..cudart import CudaRuntime, DevicePtr, cudaMemcpyKind, cudaMemoryAdvise
+from ..heatmap.store import SourceSite
 from ..instrument import ast_nodes as A
 from ..instrument.transform import TRACE_FNS
 from ..instrument.typesys import Array, CType, Pointer, Primitive, StructType
@@ -86,8 +87,13 @@ class Interpreter:
         platform: Platform | None = None,
         tracer: Tracer | None = None,
         out: io.TextIOBase | None = None,
+        source_name: str = "<mini-cuda>",
     ) -> None:
         self.unit = unit
+        self.source_name = source_name
+        #: Source line of the statement currently executing (parser-stamped;
+        #: attributes instrumented trace calls without stack inspection).
+        self._line = 0
         self.platform = platform or intel_pascal()
         self.runtime = CudaRuntime(self.platform, materialize=True)
         # The tracer is NOT attached as a runtime observer here: in the
@@ -156,6 +162,8 @@ class Interpreter:
     # statements
 
     def exec_stmt(self, s: A.Stmt, env: _Env) -> None:
+        if s.line:
+            self._line = s.line
         if isinstance(s, A.Block):
             inner = env.child()
             for x in s.stmts:
@@ -350,7 +358,11 @@ class Interpreter:
     def _trace_lvalue(self, fn: str, inner: A.Expr, env: _Env) -> LValue:
         lv = self.lvalue(inner, env)
         size = max(1, lv.ctype.size)
-        getattr(self.tracer, fn)(lv.addr, size)
+        if self.tracer.heat is not None:
+            getattr(self.tracer, fn)(
+                lv.addr, size, site=SourceSite(self.source_name, self._line))
+        else:
+            getattr(self.tracer, fn)(lv.addr, size)
         return lv
 
     # -- operators ------------------------------------------------------ #
@@ -648,6 +660,8 @@ def _cmod(a, b):
 
 def run_program(source: str, *, instrumented: bool = True,
                 platform: Platform | None = None,
+                tracer: Tracer | None = None,
+                source_name: str = "<mini-cuda>",
                 entry: str = "main") -> Interpreter:
     """Parse (+instrument) and execute ``source``; returns the interpreter
     for inspection of tracer state and captured output."""
@@ -656,6 +670,7 @@ def run_program(source: str, *, instrumented: bool = True,
     unit = parse(source)
     if instrumented:
         _instrument(unit)
-    interp = Interpreter(unit, platform=platform)
+    interp = Interpreter(unit, platform=platform, tracer=tracer,
+                         source_name=source_name)
     interp.run(entry)
     return interp

@@ -54,9 +54,14 @@ class AccessMap:
 
     def to_csv(self) -> str:
         """``word_index,accessed`` rows for external plotting."""
-        lines = ["word,accessed"]
-        lines += [f"{i},{int(v)}" for i, v in enumerate(self.mask)]
-        return "\n".join(lines)
+        if self.words == 0:
+            return "word,accessed"
+        # Vectorized row assembly: megabyte allocations have hundreds of
+        # thousands of words, so build the rows with numpy, not a Python
+        # loop over every word.
+        idx = np.arange(self.words).astype("U10")
+        vals = np.where(self.mask, ",1", ",0")
+        return "word,accessed\n" + "\n".join(np.char.add(idx, vals))
 
     def runs(self) -> list[tuple[int, int]]:
         """Half-open ``(start, stop)`` runs of set words."""

@@ -37,6 +37,9 @@ class AllocationReport:
     alternating: int
     freed: bool
     maps: dict[str, AccessMap] = field(default_factory=dict)
+    #: Top ``(site label, word-access count)`` pairs for this epoch, when
+    #: the tracer carries a heat store (empty otherwise).
+    hot_sites: tuple[tuple[str, int], ...] = ()
 
     @property
     def density_pct(self) -> int:
@@ -72,13 +75,20 @@ class DiagnosticResult:
         return sum(r.alternating for r in self.reports)
 
 
-def _report_block(block: ShadowBlock, name: str, *, include_maps: bool) -> AllocationReport:
+def _report_block(block: ShadowBlock, name: str, *, include_maps: bool,
+                  heat=None) -> AllocationReport:
     maps: dict[str, AccessMap] = {}
     if include_maps:
         maps = {
             cat: AccessMap(name, cat, mask)
             for cat, mask in block.category_masks().items()
         }
+    hot_sites: tuple[tuple[str, int], ...] = ()
+    if heat is not None:
+        alloc_heat = heat.peek(block.alloc)
+        if alloc_heat is not None:
+            hot_sites = tuple((site.label, n) for site, n
+                              in alloc_heat.current_top_sites(3))
     return AllocationReport(
         name=name,
         alloc=block.alloc,
@@ -86,6 +96,7 @@ def _report_block(block: ShadowBlock, name: str, *, include_maps: bool) -> Alloc
         alternating=block.alternating_words(),
         freed=block.freed_epoch is not None,
         maps=maps,
+        hot_sites=hot_sites,
     )
 
 
@@ -125,14 +136,18 @@ def trace_print(
                 block = tracer.smt.lookup(desc.addr)
             if block is None:
                 continue
-            reports.append(_report_block(block, desc.name, include_maps=include_maps))
+            reports.append(_report_block(block, desc.name,
+                                         include_maps=include_maps,
+                                         heat=tracer.heat))
             claimed.add(block.alloc.base)
     if descriptors is None or include_unnamed:
         for block in blocks:
             if block.alloc.base in claimed:
                 continue
             label = block.alloc.label or f"alloc@{block.alloc.base:#x}"
-            reports.append(_report_block(block, label, include_maps=include_maps))
+            reports.append(_report_block(block, label,
+                                         include_maps=include_maps,
+                                         heat=tracer.heat))
 
     result = DiagnosticResult(epoch=tracer.epoch, reports=reports)
     if out is not None:

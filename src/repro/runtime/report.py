@@ -43,7 +43,11 @@ def format_text(result: DiagnosticResult) -> str:
         out.write("".join(f"{c:>9}" for c in _COLS) + "\n")
         out.write("".join(f"{v:>9}" for v in _count_row(r)) + "\n")
         out.write(f"access density (in %): {r.density_pct}\n")
-        out.write(f"{r.alternating} elements with alternating accesses\n\n")
+        out.write(f"{r.alternating} elements with alternating accesses\n")
+        if r.hot_sites:
+            sites = ", ".join(f"{label} x{n}" for label, n in r.hot_sites)
+            out.write(f"hot sites: {sites}\n")
+        out.write("\n")
     return out.getvalue()
 
 

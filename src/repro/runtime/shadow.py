@@ -17,7 +17,12 @@ import numpy as np
 from ..memsim import Allocation, Processor
 from . import flags as F
 
-__all__ = ["ShadowBlock", "AccessCounts"]
+__all__ = ["ShadowBlock", "AccessCounts", "nwords_for"]
+
+
+def nwords_for(size: int) -> int:
+    """Traced 32-bit words covering ``size`` payload bytes (ceil division)."""
+    return -(-size // F.WORD_SIZE)
 
 
 @dataclass(frozen=True)
@@ -58,8 +63,7 @@ class ShadowBlock:
 
     def __init__(self, alloc: Allocation, epoch: int = 0) -> None:
         self.alloc = alloc
-        nwords = -(-alloc.size // F.WORD_SIZE)
-        self.shadow = np.zeros(nwords, dtype=np.uint8)
+        self.shadow = np.zeros(nwords_for(alloc.size), dtype=np.uint8)
         self.epoch_created = epoch
         self.freed_epoch: int | None = None
 

@@ -31,6 +31,7 @@ from .smt import ShadowMemoryTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cudart.api import CudaRuntime
+    from ..heatmap.store import HeatStore, SourceSite
 
 __all__ = ["Tracer", "TransferRecord", "AdviceRecord", "KernelRecord"]
 
@@ -71,9 +72,13 @@ class KernelRecord:
 class Tracer(ObserverBase):
     """Records heap accesses into shadow memory (paper §III-C)."""
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True,
+                 heat: "HeatStore | None" = None) -> None:
         self.smt = ShadowMemoryTable()
         self.enabled = enabled
+        #: Optional access-count heat recorder (off by default; the shadow
+        #: memory itself only keeps boolean per-word masks per epoch).
+        self.heat = heat
         self.epoch = 0
         self.transfers: list[TransferRecord] = []
         self.advice: list[AdviceRecord] = []
@@ -117,31 +122,46 @@ class Tracer(ObserverBase):
     # ------------------------------------------------------------------ #
     # direct tracing API (paper Table I)
 
-    def traceR(self, addr: int, size: int = 4) -> int:
+    def traceR(self, addr: int, size: int = 4,
+               site: "SourceSite | None" = None) -> int:
         """``const T& traceR(const T&)``: record a read, return the address."""
         if self.enabled:
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
                 block.record_read(self.current_proc, lo, hi)
+                if self.heat is not None:
+                    self.heat.record(block.alloc, self.current_proc,
+                                     is_write=False, lo=lo, hi=hi, site=site)
         return addr
 
-    def traceW(self, addr: int, size: int = 4) -> int:
+    def traceW(self, addr: int, size: int = 4,
+               site: "SourceSite | None" = None) -> int:
         """``T& traceW(T&)``: record a write, return the address."""
         if self.enabled:
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
                 block.record_write(self.current_proc, lo, hi)
+                if self.heat is not None:
+                    self.heat.record(block.alloc, self.current_proc,
+                                     is_write=True, lo=lo, hi=hi, site=site)
         return addr
 
-    def traceRW(self, addr: int, size: int = 4) -> int:
+    def traceRW(self, addr: int, size: int = 4,
+                site: "SourceSite | None" = None) -> int:
         """``T& traceRW(T&)``: record a read-modify-write, return the address."""
         if self.enabled:
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
                 block.record_rmw(self.current_proc, lo, hi)
+                if self.heat is not None:
+                    proc = self.current_proc
+                    self.heat.record(block.alloc, proc, is_write=False,
+                                     lo=lo, hi=hi, site=site)
+                    self.heat.record(block.alloc, proc, is_write=True,
+                                     lo=lo, hi=hi, site=site)
         return addr
 
     # ------------------------------------------------------------------ #
@@ -185,6 +205,15 @@ class Tracer(ObserverBase):
             block.record_write(proc, lo, hi, idx)
         else:
             block.record_read(proc, lo, hi, idx)
+        if self.heat is not None:
+            if is_rmw:
+                self.heat.record(alloc, proc, is_write=False,
+                                 lo=lo, hi=hi, idx=idx)
+                self.heat.record(alloc, proc, is_write=True,
+                                 lo=lo, hi=hi, idx=idx)
+            else:
+                self.heat.record(alloc, proc, is_write=is_write,
+                                 lo=lo, hi=hi, idx=idx)
 
     def on_memcpy(self, dst, dst_off, src, src_off, nbytes, kind) -> None:  # noqa: D102
         if not self.enabled:
@@ -196,6 +225,9 @@ class Tracer(ObserverBase):
             if block is not None:
                 lo, hi = block.word_range(dst_off, nbytes)
                 block.record_write(Processor.CPU, lo, hi)
+                if self.heat is not None:
+                    self.heat.record(dst, Processor.CPU, is_write=True,
+                                     lo=lo, hi=hi)
                 if dst.kind is MemoryKind.DEVICE:
                     self.transfers.append(TransferRecord(
                         dst, dst_off, nbytes, "H2D", self.epoch))
@@ -204,6 +236,9 @@ class Tracer(ObserverBase):
             if block is not None:
                 lo, hi = block.word_range(src_off, nbytes)
                 block.record_read(Processor.CPU, lo, hi)
+                if self.heat is not None:
+                    self.heat.record(src, Processor.CPU, is_write=False,
+                                     lo=lo, hi=hi)
                 if src.kind is MemoryKind.DEVICE:
                     self.transfers.append(TransferRecord(
                         src, src_off, nbytes, "D2H", self.epoch))
@@ -226,6 +261,8 @@ class Tracer(ObserverBase):
         self.smt.flush_graveyard()
         closed = self.epoch
         self.epoch += 1
+        if self.heat is not None:
+            self.heat.advance_epoch(closed)
         for hook in tuple(self.epoch_hooks):
             hook(closed)
         return self.epoch

@@ -64,6 +64,16 @@ def _format_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` value per the exposition format.
+
+    Backslashes and newlines are the only characters escaped on HELP
+    lines (label values additionally escape quotes -- see
+    ``_format_labels``).
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 @dataclass
 class _Series:
     """One (metric, label-set) time series."""
@@ -97,7 +107,7 @@ class _Instrument:
 
     def expose(self) -> Iterable[str]:
         """Lines of Prometheus text exposition for this family."""
-        yield f"# HELP {self.name} {self.help or self.name}"
+        yield f"# HELP {self.name} {_escape_help(self.help or self.name)}"
         yield f"# TYPE {self.name} {self.kind}"
         for key, s in sorted(self._series.items()):
             yield f"{self.name}{_format_labels(key)} {_format_value(s.value)}"
@@ -173,7 +183,7 @@ class Histogram(_Instrument):
                 break
 
     def expose(self) -> Iterable[str]:  # noqa: D102
-        yield f"# HELP {self.name} {self.help or self.name}"
+        yield f"# HELP {self.name} {_escape_help(self.help or self.name)}"
         yield f"# TYPE {self.name} histogram"
         for key, s in sorted(self._series.items()):
             assert isinstance(s, _HistSeries)

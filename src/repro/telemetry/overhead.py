@@ -9,6 +9,9 @@ observation layer:
 * ``traced``    -- XPlacer tracer attached (the paper's Table III column).
 * ``telemetry`` -- tracer plus a full :class:`TelemetryRecorder` (metrics,
   timeline and JSONL sinks all live).
+* ``heat``      -- tracer plus a :class:`~repro.heatmap.store.HeatStore`
+  with source attribution: the ``repro-report`` configuration.  The
+  acceptance bar is < 2x over ``traced``.
 * ``detached``  -- a recorder attached and then detached before the run:
   must cost the same as ``plain`` (regression guard that ``detach``
   really unwires every hook).
@@ -102,6 +105,13 @@ def measure_overhead(
             finally:
                 recorder.detach()
 
+        def heat() -> None:
+            from ..heatmap.store import HeatStore
+            session = make_session(platform, trace=True, materialize=False)
+            assert session.tracer is not None
+            session.tracer.heat = HeatStore()
+            runner(session)
+
         def detached() -> None:
             session = make_session(platform, trace=False, materialize=False)
             recorder = TelemetryRecorder(jsonl=None)
@@ -112,15 +122,19 @@ def measure_overhead(
         plain_s = _timed(plain, repeats)
         traced_s = _timed(traced, repeats)
         telemetry_s = _timed(telemetry, repeats)
+        heat_s = _timed(heat, repeats)
         detached_s = _timed(detached, repeats)
         rows.append({
             "workload": name,
             "plain_s": plain_s,
             "traced_s": traced_s,
             "telemetry_s": telemetry_s,
+            "heat_s": heat_s,
             "detached_s": detached_s,
             "traced_x": traced_s / plain_s if plain_s else float("inf"),
             "telemetry_x": telemetry_s / plain_s if plain_s else float("inf"),
+            "heat_x": heat_s / plain_s if plain_s else float("inf"),
+            "heat_vs_traced_x": heat_s / traced_s if traced_s else float("inf"),
             "detached_x": detached_s / plain_s if plain_s else float("inf"),
         })
     return rows
@@ -130,17 +144,25 @@ def format_rows(rows: list[dict]) -> str:
     """Render the Table-III-style text block."""
     out = io.StringIO()
     out.write(f"{'workload':14s}{'plain':>9s}{'traced':>9s}{'+telem':>9s}"
-              f"{'detach':>9s}{'traced':>8s}{'telem':>8s}{'detach':>8s}\n")
+              f"{'+heat':>9s}{'detach':>9s}"
+              f"{'traced':>8s}{'telem':>8s}{'heat':>8s}{'detach':>8s}\n")
     for r in rows:
         out.write(
             f"{r['workload']:14s}"
             f"{r['plain_s']:8.3f}s{r['traced_s']:8.3f}s"
-            f"{r['telemetry_s']:8.3f}s{r['detached_s']:8.3f}s"
+            f"{r['telemetry_s']:8.3f}s{r.get('heat_s', 0.0):8.3f}s"
+            f"{r['detached_s']:8.3f}s"
             f"{r['traced_x']:7.1f}x{r['telemetry_x']:7.1f}x"
-            f"{r['detached_x']:7.1f}x\n")
+            f"{r.get('heat_x', 0.0):7.1f}x{r['detached_x']:7.1f}x\n")
     if rows:
         mean = sum(r["telemetry_x"] for r in rows) / len(rows)
         out.write(f"{'average telemetry overhead':40s}{mean:8.1f}x\n")
+        heat_rows = [r for r in rows if "heat_vs_traced_x" in r]
+        if heat_rows:
+            mean_heat = (sum(r["heat_vs_traced_x"] for r in heat_rows)
+                         / len(heat_rows))
+            out.write(f"{'average heat overhead vs traced':40s}"
+                      f"{mean_heat:8.2f}x\n")
     return out.getvalue()
 
 

@@ -1,0 +1,77 @@
+"""ANSI renderer: ramps, NO_COLOR degradation, epoch scrubbing."""
+
+import numpy as np
+import pytest
+
+from repro.heatmap.ansi import (
+    ASCII_RAMP,
+    render_alloc,
+    render_store,
+    supports_color,
+)
+from repro.heatmap.store import HeatStore, SourceSite
+from repro.memsim import AddressSpace, MemoryKind, Processor
+
+
+@pytest.fixture
+def store():
+    space = AddressSpace()
+    alloc = space.allocate(64 * 4, MemoryKind.MANAGED, label="grid")
+    s = HeatStore(nbuckets=8, attribute=False)
+    s.record(alloc, Processor.GPU, is_write=True, lo=0, hi=32,
+             site=SourceSite("k.cu", 5))
+    s.advance_epoch(0)
+    s.record(alloc, Processor.GPU, is_write=True, lo=32, hi=64,
+             site=SourceSite("k.cu", 9))
+    s.advance_epoch(1)
+    return s
+
+
+class TestSupportsColor:
+    def test_no_color_env_wins(self, monkeypatch):
+        monkeypatch.setenv("NO_COLOR", "1")
+        class Tty:
+            def isatty(self):
+                return True
+        assert supports_color(Tty()) is False
+
+    def test_non_tty_is_plain(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        class Pipe:
+            def isatty(self):
+                return False
+        assert supports_color(Pipe()) is False
+
+
+class TestRender:
+    def test_plain_output_has_no_escape_sequences(self, store):
+        text = render_store(store, color=False)
+        assert "\x1b[" not in text
+        assert set(text) <= set(ASCII_RAMP + "0123456789"
+                                "abcdefghijklmnopqrstuvwxyz"
+                                "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                " .,:()[]|=x<>@#%*+-_\n")
+
+    def test_color_output_uses_background_ramp(self, store):
+        text = render_store(store, color=True)
+        assert "\x1b[48;5;" in text and "\x1b[0m" in text
+
+    def test_strips_show_the_wavefront(self, store):
+        heat = store.allocations()[0]
+        text = render_alloc(heat, color=False)
+        lines = [l for l in text.splitlines() if l.lstrip().startswith("e")]
+        assert len(lines) == 2
+        # Epoch 0 heats the left half, epoch 1 the right half.
+        cells0 = lines[0].split("|")[1]
+        cells1 = lines[1].split("|")[1]
+        assert cells0[:4].strip() and not cells0[4:].strip()
+        assert cells1[4:].strip() and not cells1[:4].strip()
+
+    def test_epoch_scrubbing_selects_one_row(self, store):
+        text = render_store(store, color=False, epoch=1)
+        assert "e1" in text and "e0  " not in text
+        assert "[showing epoch 1]" in text
+
+    def test_hottest_sites_are_listed(self, store):
+        text = render_store(store, color=False)
+        assert "k.cu:5" in text or "k.cu:9" in text

@@ -41,6 +41,17 @@ class TestAccessMap:
         csv = make_map([1, 0]).to_csv()
         assert csv.splitlines() == ["word,accessed", "0,1", "1,0"]
 
+    def test_csv_vectorized_matches_reference_on_large_map(self):
+        rng = np.random.default_rng(42)
+        mask = rng.integers(0, 2, size=200_003).astype(bool)
+        amap = make_map(mask.tolist())
+        reference = "\n".join(
+            ["word,accessed"] + [f"{i},{int(v)}" for i, v in enumerate(mask)])
+        assert amap.to_csv() == reference
+
+    def test_csv_empty_map(self):
+        assert make_map([]).to_csv() == "word,accessed"
+
     def test_invalid_width_rejected(self):
         with pytest.raises(ValueError):
             make_map([1]).as_grid(0)

@@ -114,3 +114,18 @@ class TestRegistry:
         reg = MetricsRegistry()
         reg.counter("a_total").inc(1, k='say "hi"\n')
         assert r'{k="say \"hi\"\n"}' in reg.to_prometheus()
+
+    def test_help_escaping(self):
+        # Exposition format: HELP values escape backslash and newline.
+        reg = MetricsRegistry()
+        reg.counter("a_total", "path C:\\tmp\nsecond line").inc(1)
+        text = reg.to_prometheus()
+        assert r"# HELP a_total path C:\\tmp\nsecond line" in text
+        # No raw newline may split the HELP line in two.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert help_lines == [r"# HELP a_total path C:\\tmp\nsecond line"]
+
+    def test_histogram_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "a\\b\nc").observe(0.1)
+        assert r"# HELP h_seconds a\\b\nc" in reg.to_prometheus()

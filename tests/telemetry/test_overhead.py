@@ -13,12 +13,17 @@ class TestMeasureOverhead:
         assert len(rows) == 2
         for row in rows:
             assert row["workload"] in OVERHEAD_WORKLOADS
-            for key in ("plain_s", "traced_s", "telemetry_s", "detached_s"):
+            for key in ("plain_s", "traced_s", "telemetry_s", "heat_s",
+                        "detached_s"):
                 assert row[key] > 0
             # Instrumented runs do strictly more work; allow generous
             # noise margins rather than asserting exact ordering.
             assert row["telemetry_x"] > 0.5
             assert row["traced_x"] > 0.5
+            assert row["heat_x"] > 0.5
+            # Heat recording rides the traced path; its marginal cost
+            # must stay well under the 2x acceptance bar.
+            assert row["heat_vs_traced_x"] < 2.0
 
     def test_disabled_telemetry_is_cheap(self):
         # Acceptance bound: attach+detach must leave the hot path alone
@@ -29,10 +34,13 @@ class TestMeasureOverhead:
     def test_format_rows_renders_table(self):
         rows = [{
             "workload": "sw", "plain_s": 0.1, "traced_s": 0.2,
-            "telemetry_s": 0.3, "detached_s": 0.11,
-            "traced_x": 2.0, "telemetry_x": 3.0, "detached_x": 1.1,
+            "telemetry_s": 0.3, "heat_s": 0.25, "detached_s": 0.11,
+            "traced_x": 2.0, "telemetry_x": 3.0, "heat_x": 2.5,
+            "heat_vs_traced_x": 1.25, "detached_x": 1.1,
         }]
         text = format_rows(rows)
         assert "sw" in text
         assert "3.0x" in text
         assert "average telemetry overhead" in text
+        assert "average heat overhead vs traced" in text
+        assert "1.25x" in text
