@@ -1,0 +1,28 @@
+"""Bench: cost of causal provenance (the ``repro-why run`` config).
+
+Cause links piggyback on events the driver already records, so their
+marginal cost over plain tracing must stay small -- the acceptance bar
+is < 2x over the ``traced`` configuration even with per-API source-site
+stack walks (the expensive half; ``--no-sites`` captures skip it).
+
+Recorded ratios are floored at 1.0 before entering the baseline: a
+measured ratio below 1.0 means "within noise of free", and committing a
+lucky sub-1.0 sample would set an unmeetable bar for the +25% guard.
+"""
+
+from repro.causes.overhead import measure_causes_overhead
+
+
+def test_causal_recording_under_2x_of_traced(once, bench_record):
+    rows = once(measure_causes_overhead, workloads=("sw",), repeats=3)
+    for r in rows:
+        print(f"\n{r['workload']}: causes {r['causes_x']:.2f}x over traced "
+              f"({r['causes_no_sites_x']:.2f}x without site walks)")
+        bench_record(f"causes_overhead_{r['workload']}", file="causes",
+                     causes_x=round(max(r["causes_x"], 1.0), 3),
+                     causes_no_sites_x=round(
+                         max(r["causes_no_sites_x"], 1.0), 3))
+        assert r["causes_x"] < 2.0
+        # Skipping the stack walk must never cost materially more than
+        # doing it (generous margin: both ratios sit near 1x and jitter).
+        assert r["causes_no_sites_x"] <= r["causes_x"] * 1.25

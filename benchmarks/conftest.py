@@ -6,19 +6,62 @@ reports -- who wins, by roughly what factor, where crossovers fall.
 Simulated experiments are deterministic, so a single round suffices.
 
 Benchmarks can additionally publish headline numbers through the
-``bench_record`` fixture; everything recorded during a session is merged
-into ``benchmarks/BENCH_heatmap.json`` (machine-readable, keyed by record
-name) so dashboards and CI diffs can track them without parsing pytest
-output.
+``bench_record`` fixture.  Records are grouped per baseline *file*
+(``bench_record(name, file="causes", ...)`` lands in
+``benchmarks/BENCH_causes.json``; the default file is ``heatmap``) so
+dashboards and CI diffs can track them without parsing pytest output.
+
+The committed ``BENCH_*.json`` files double as perf-regression
+baselines: every recorded field ending in ``_x`` (an overhead ratio,
+machine-independent by construction) is compared against the committed
+value and the recording test fails when it regresses by more than
+:data:`REGRESSION_TOLERANCE`.  Baselines are only rewritten when the
+whole session passes, so a regressing run cannot silently ratchet its
+own baseline.  Set ``REPRO_BENCH_NO_GUARD=1`` to record without
+guarding (e.g. when intentionally re-baselining).
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 _RECORDS: list[dict] = []
-_BENCH_JSON = Path(__file__).parent / "BENCH_heatmap.json"
+_BENCH_DIR = Path(__file__).parent
+
+#: Relative increase of a committed ``_x`` ratio that fails the guard.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _baseline(file: str) -> dict[str, dict]:
+    path = _BENCH_DIR / f"BENCH_{file}.json"
+    if not path.exists():
+        return {}
+    try:
+        return {r["name"]: r for r in json.loads(path.read_text())}
+    except (ValueError, KeyError, TypeError):
+        return {}
+
+
+def _guard(name: str, file: str, numbers: dict) -> None:
+    if os.environ.get("REPRO_BENCH_NO_GUARD"):
+        return
+    base = _baseline(file).get(name)
+    if not base:
+        return
+    for key, value in numbers.items():
+        if not key.endswith("_x"):
+            continue
+        old = base.get(key)
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        if value > old * (1.0 + REGRESSION_TOLERANCE):
+            pytest.fail(
+                f"perf regression: {name}.{key} = {value} vs committed "
+                f"baseline {old} (+{100 * (value / old - 1):.0f}% > "
+                f"{100 * REGRESSION_TOLERANCE:.0f}%); re-baseline with "
+                f"REPRO_BENCH_NO_GUARD=1 if intentional")
 
 
 @pytest.fixture
@@ -33,25 +76,31 @@ def once(benchmark):
 
 @pytest.fixture
 def bench_record():
-    """Publish named headline numbers into ``BENCH_heatmap.json``."""
+    """Publish named headline numbers into ``BENCH_<file>.json``."""
 
-    def record(name: str, **numbers) -> None:
-        _RECORDS.append({"name": name, **numbers})
+    def record(name: str, file: str = "heatmap", **numbers) -> None:
+        _RECORDS.append({"file": file, "name": name, **numbers})
+        _guard(name, file, numbers)
 
     return record
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge this session's records into the benchmark JSON (by name)."""
-    if not _RECORDS:
+    """Merge this session's records into the benchmark JSON (by name).
+
+    Skipped on failing sessions so a regression never overwrites the
+    baseline it was caught against.
+    """
+    if not _RECORDS or exitstatus != 0:
         return
-    merged: dict[str, dict] = {}
-    if _BENCH_JSON.exists():
-        try:
-            merged = {r["name"]: r for r in json.loads(_BENCH_JSON.read_text())}
-        except (ValueError, KeyError, TypeError):
-            merged = {}
+    by_file: dict[str, list[dict]] = {}
     for r in _RECORDS:
-        merged[r["name"]] = r
-    rows = sorted(merged.values(), key=lambda r: r["name"])
-    _BENCH_JSON.write_text(json.dumps(rows, indent=2) + "\n")
+        r = dict(r)
+        by_file.setdefault(r.pop("file"), []).append(r)
+    for file, records in by_file.items():
+        merged = _baseline(file)
+        for r in records:
+            merged[r["name"]] = r
+        rows = sorted(merged.values(), key=lambda r: r["name"])
+        (_BENCH_DIR / f"BENCH_{file}.json").write_text(
+            json.dumps(rows, indent=2) + "\n")

@@ -1,0 +1,5 @@
+"""``python -m repro.causes`` == ``repro-why``."""
+
+from .cli import main
+
+raise SystemExit(main())

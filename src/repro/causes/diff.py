@@ -1,0 +1,136 @@
+"""Differential run comparison: did my placement change actually help?
+
+``diff_reports`` aligns two causal reports (run *A* = baseline, run *B* =
+candidate) by allocation label, source site and anti-pattern category,
+and emits a structured improvement/regression report: per-key deltas of
+events / pages / bytes / cost, each flagged ``improved`` / ``regressed``
+/ ``unchanged`` against a relative threshold.  This is the tool you run
+after flipping a workload from plain managed memory to ``cudaMemAdvise``:
+the transfer-byte reduction shows up against the advised allocation's
+label and allocating source site.
+
+Determinism: diffing a run against itself produces a report whose every
+delta is zero and whose serialised form is byte-identical across
+invocations (no timestamps, no unordered iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["diff_reports", "DIFF_VERSION", "METRICS"]
+
+#: Version stamp of diff report dicts.
+DIFF_VERSION = 1
+
+#: Metrics compared for every aligned key.  ``moved`` is the subset of
+#: ``bytes`` that physically crossed the link (migrations, transfers,
+#: duplications, evictions) -- the headline number for advise experiments.
+METRICS = ("events", "pages", "bytes", "moved", "cost")
+
+_ROUND = 9
+
+
+def _flag(delta: float, base: float, threshold: float) -> str:
+    """Classify a delta: lower cost/bytes/counts is an improvement."""
+    if delta == 0:
+        return "unchanged"
+    scale = max(abs(base), 1e-30)
+    if abs(delta) / scale < threshold:
+        return "unchanged"
+    return "improved" if delta < 0 else "regressed"
+
+
+def _metric_delta(a: float, b: float, threshold: float) -> dict[str, Any]:
+    delta = b - a
+    if isinstance(a, float) or isinstance(b, float):
+        a, b, delta = round(a, _ROUND), round(b, _ROUND), round(delta, _ROUND)
+    pct = round(100.0 * delta / a, 3) if a else (0.0 if not delta else None)
+    return {"a": a, "b": b, "delta": delta, "pct": pct,
+            "flag": _flag(delta, a, threshold)}
+
+
+def _diff_table(rows_a: list[Mapping[str, Any]], rows_b: list[Mapping[str, Any]],
+                key_name: str, threshold: float,
+                carry: tuple[str, ...] = ()) -> list[dict[str, Any]]:
+    """Align two rollup tables by key and diff every metric.
+
+    Keys present on only one side are kept (the other side reads as
+    zero) -- a freed-and-reallocated or renamed allocation still shows
+    up rather than silently vanishing from the comparison.
+    """
+    index_a = {row[key_name]: row for row in rows_a}
+    index_b = {row[key_name]: row for row in rows_b}
+    out = []
+    for key in sorted(set(index_a) | set(index_b)):
+        ra, rb = index_a.get(key, {}), index_b.get(key, {})
+        entry: dict[str, Any] = {
+            key_name: key,
+            "in_a": key in index_a,
+            "in_b": key in index_b,
+        }
+        for field in carry:
+            entry[f"{field}_a"] = ra.get(field, "")
+            entry[f"{field}_b"] = rb.get(field, "")
+        for metric in METRICS:
+            entry[metric] = _metric_delta(ra.get(metric, 0), rb.get(metric, 0),
+                                          threshold)
+        out.append(entry)
+    # Largest absolute cost movement first; key breaks ties.
+    out.sort(key=lambda e: (-abs(e["cost"]["delta"]), e[key_name]))
+    return out
+
+
+def diff_reports(a: Mapping[str, Any], b: Mapping[str, Any],
+                 *, threshold: float = 0.05,
+                 label_a: str = "A", label_b: str = "B") -> dict[str, Any]:
+    """Structured comparison of two causal reports (see module docs).
+
+    :param threshold: relative change below which a delta is flagged
+        ``unchanged`` (default 5%).
+    """
+    result: dict[str, Any] = {
+        "type": "causes_diff",
+        "diff_version": DIFF_VERSION,
+        "threshold": threshold,
+        "runs": {
+            "a": {"label": label_a, "workload": a.get("workload", ""),
+                  "platform": a.get("platform", "")},
+            "b": {"label": label_b, "workload": b.get("workload", ""),
+                  "platform": b.get("platform", "")},
+        },
+        "totals": {
+            metric: _metric_delta(a.get("totals", {}).get(metric, 0),
+                                  b.get("totals", {}).get(metric, 0), threshold)
+            for metric in METRICS
+        },
+        "by_alloc": _diff_table(a.get("by_alloc", []), b.get("by_alloc", []),
+                                "alloc", threshold, carry=("alloc_site",)),
+        "by_site": _diff_table(a.get("by_site", []), b.get("by_site", []),
+                               "site", threshold),
+        "by_category": _diff_table(a.get("by_category", []),
+                                   b.get("by_category", []),
+                                   "category", threshold),
+        "critical_path": {
+            "cost": _metric_delta(
+                a.get("critical_path", {}).get("cost", 0.0),
+                b.get("critical_path", {}).get("cost", 0.0), threshold),
+            "length": _metric_delta(
+                a.get("critical_path", {}).get("length", 0),
+                b.get("critical_path", {}).get("length", 0), threshold),
+        },
+    }
+    improved = regressed = 0
+    for table in (result["by_alloc"], result["by_site"], result["by_category"]):
+        for entry in table:
+            flags = {entry[m]["flag"] for m in METRICS}
+            improved += "improved" in flags
+            regressed += "regressed" in flags
+    result["summary"] = {
+        "improved_keys": improved,
+        "regressed_keys": regressed,
+        "verdict": ("improvement" if result["totals"]["cost"]["flag"] == "improved"
+                    else "regression" if result["totals"]["cost"]["flag"] == "regressed"
+                    else "neutral"),
+    }
+    return result

@@ -1,0 +1,112 @@
+"""What does causal provenance cost on top of plain tracing?
+
+Three configurations per workload, mirroring
+:mod:`repro.telemetry.overhead`:
+
+* ``traced``   -- tracer + full :class:`TelemetryRecorder`: the baseline
+  every other observability layer is priced against.
+* ``causes``   -- the same recorder with ``track_causes`` on and source-
+  site stack walking enabled: the ``repro-why run`` configuration.  The
+  acceptance bar is < 2x over ``traced``.
+* ``causes_no_sites`` -- provenance without the per-API stack walk (the
+  ``--no-sites`` capture): cause links and parent edges only.
+
+Usage::
+
+    python -m repro.causes.overhead --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+
+from ..telemetry.events_jsonl import StringJsonl
+from ..telemetry.overhead import OVERHEAD_WORKLOADS, _timed
+from ..telemetry.recorder import TelemetryRecorder
+from ..workloads.base import make_session
+
+__all__ = ["measure_causes_overhead", "format_rows", "main"]
+
+
+def measure_causes_overhead(
+    workloads: tuple[str, ...] = ("sw",),
+    *,
+    platform: str = "intel-pascal",
+    repeats: int = 3,
+) -> list[dict]:
+    """Time each workload traced vs causally tracked.
+
+    Returns one row per workload with absolute times and the ratios
+    ``causes_x`` / ``causes_no_sites_x`` against the traced run.
+    """
+    rows: list[dict] = []
+    for name in workloads:
+        runner = OVERHEAD_WORKLOADS[name]
+
+        def run_config(track_causes: bool, sites: bool) -> None:
+            session = make_session(platform, trace=True, materialize=False)
+            recorder = TelemetryRecorder(jsonl=StringJsonl())
+            recorder.attach(session.runtime, session.tracer,
+                            track_causes=track_causes)
+            session.platform.um.blame_sites = sites
+            try:
+                runner(session)
+            finally:
+                recorder.detach()
+
+        traced_s = _timed(lambda: run_config(False, False), repeats)
+        causes_s = _timed(lambda: run_config(True, True), repeats)
+        no_sites_s = _timed(lambda: run_config(True, False), repeats)
+        rows.append({
+            "workload": name,
+            "traced_s": traced_s,
+            "causes_s": causes_s,
+            "causes_no_sites_s": no_sites_s,
+            "causes_x": causes_s / traced_s if traced_s else float("inf"),
+            "causes_no_sites_x": (no_sites_s / traced_s if traced_s
+                                  else float("inf")),
+        })
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Render the overhead table as text."""
+    out = io.StringIO()
+    out.write(f"{'workload':14s}{'traced':>9s}{'causes':>9s}{'no-sites':>10s}"
+              f"{'causes':>9s}{'no-sites':>10s}\n")
+    for r in rows:
+        out.write(
+            f"{r['workload']:14s}"
+            f"{r['traced_s']:8.3f}s{r['causes_s']:8.3f}s"
+            f"{r['causes_no_sites_s']:9.3f}s"
+            f"{r['causes_x']:8.2f}x{r['causes_no_sites_x']:9.2f}x\n")
+    if rows:
+        mean = sum(r["causes_x"] for r in rows) / len(rows)
+        out.write(f"{'average causal overhead vs traced':40s}{mean:8.2f}x\n")
+    return out.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.causes.overhead``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-why-overhead",
+        description="Measure causal-provenance overhead vs plain tracing.")
+    parser.add_argument("--workloads", nargs="*", default=["sw"],
+                        choices=sorted(OVERHEAD_WORKLOADS),
+                        help="workloads to time")
+    parser.add_argument("--platform", default="intel-pascal",
+                        help="platform preset (default: intel-pascal)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs per configuration")
+    args = parser.parse_args(argv)
+    rows = measure_causes_overhead(tuple(args.workloads),
+                                   platform=args.platform,
+                                   repeats=args.repeats)
+    sys.stdout.write(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Terminal rendering of causal reports and diffs.
+
+Plain fixed-width tables: deterministic, pipe-friendly, and readable in
+CI logs.  Colour is limited to the diff flags and honours ``NO_COLOR``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Mapping
+
+__all__ = ["render_report", "render_diff", "format_cost", "format_bytes"]
+
+_GREEN = "\x1b[32m"
+_RED = "\x1b[31m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def _color_enabled(stream=None) -> bool:
+    if os.environ.get("NO_COLOR"):
+        return False
+    stream = stream if stream is not None else sys.stdout
+    return bool(getattr(stream, "isatty", lambda: False)())
+
+
+def format_cost(seconds: float) -> str:
+    """A simulated-cost figure with an adaptive unit."""
+    if seconds == 0:
+        return "0"
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6)):
+        if abs(seconds) >= scale:
+            return f"{seconds / scale:.3f}{unit}"
+    return f"{seconds / 1e-9:.0f}ns"
+
+
+def format_bytes(n: float) -> str:
+    """A byte count with an adaptive binary unit."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _table(rows: list[list[str]], header: list[str]) -> list[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*row) for row in rows]
+    return lines
+
+
+def _blame_section(title: str, rows: list[Mapping[str, Any]], key: str,
+                   limit: int) -> list[str]:
+    if not rows:
+        return []
+    body = [[str(r[key]), str(r["events"]), str(r["pages"]),
+             format_bytes(r["bytes"]), format_bytes(r.get("moved", 0)),
+             format_cost(r["cost"])]
+            for r in rows[:limit]]
+    lines = [f"{title} (top {min(limit, len(rows))} of {len(rows)} by cost)"]
+    lines += _table(body, [key, "events", "pages", "bytes", "moved", "cost"])
+    lines.append("")
+    return lines
+
+
+def render_report(report: Mapping[str, Any], *, limit: int = 10) -> str:
+    """Human-oriented text rendering of a causal report."""
+    t = report.get("totals", {})
+    lines = [
+        "causal blame report"
+        + (f" -- {report['workload']}" if report.get("workload") else "")
+        + (f" on {report['platform']}" if report.get("platform") else ""),
+        f"  events={t.get('events', 0)} pages={t.get('pages', 0)} "
+        f"bytes={format_bytes(t.get('bytes', 0))} "
+        f"moved={format_bytes(t.get('moved', 0))} "
+        f"cost={format_cost(t.get('cost', 0.0))}",
+        "",
+    ]
+    lines += _blame_section("blame by source site", report.get("by_site", []),
+                            "site", limit)
+    lines += _blame_section("blame by allocation", report.get("by_alloc", []),
+                            "alloc", limit)
+    lines += _blame_section("blame by category", report.get("by_category", []),
+                            "category", limit)
+    lines += _blame_section("blame by kernel", report.get("by_kernel", []),
+                            "kernel", limit)
+    cp = report.get("critical_path", {})
+    if cp.get("events"):
+        lines.append(f"critical path: {format_cost(cp.get('cost', 0.0))} over "
+                     f"{cp.get('length', 0)} causally linked events"
+                     + (f" (showing last {len(cp['events'])})"
+                        if cp.get("truncated") else ""))
+        body = [[str(n["id"]), n["kind"], n["category"],
+                 str(n["pages"]), format_cost(n["cost"]),
+                 n["alloc"] or "-", n["site"] or n["kernel"] or "-"]
+                for n in cp["events"]]
+        lines += _table(body, ["id", "kind", "category", "pages", "cost",
+                               "alloc", "site/kernel"])
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _paint(flag: str, text: str, color: bool) -> str:
+    if not color:
+        return text
+    if flag == "improved":
+        return f"{_GREEN}{text}{_RESET}"
+    if flag == "regressed":
+        return f"{_RED}{text}{_RESET}"
+    return f"{_DIM}{text}{_RESET}"
+
+
+def _fmt_delta(metric: str, d: Mapping[str, Any], color: bool) -> str:
+    fmt = format_cost if metric == "cost" else (
+        format_bytes if metric in ("bytes", "moved") else lambda v: str(int(v)))
+    sign = "+" if d["delta"] > 0 else ""
+    pct = f" ({sign}{d['pct']}%)" if d.get("pct") is not None else ""
+    text = f"{fmt(d['a'])} -> {fmt(d['b'])} [{sign}{fmt(d['delta'])}{pct}]"
+    return _paint(d["flag"], text, color)
+
+
+def render_diff(diff: Mapping[str, Any], *, limit: int = 10,
+                stream=None) -> str:
+    """Human-oriented text rendering of a differential report."""
+    color = _color_enabled(stream)
+    runs = diff.get("runs", {})
+    a, b = runs.get("a", {}), runs.get("b", {})
+    lines = [
+        f"causal diff: A={a.get('label', 'A')}"
+        + (f" ({a.get('workload')})" if a.get("workload") else "")
+        + f"  vs  B={b.get('label', 'B')}"
+        + (f" ({b.get('workload')})" if b.get("workload") else ""),
+        f"  threshold: {diff.get('threshold', 0) * 100:.1f}% relative change",
+        "",
+        "totals (A -> B):",
+    ]
+    for metric in ("events", "pages", "bytes", "moved", "cost"):
+        d = diff["totals"][metric]
+        lines.append(f"  {metric:<7} " + _fmt_delta(metric, d, color))
+    lines.append("")
+    for title, key in (("by allocation", "by_alloc"), ("by site", "by_site"),
+                       ("by category", "by_category")):
+        rows = diff.get(key, [])
+        if not rows:
+            continue
+        shown = rows[:limit]
+        lines.append(f"{title} (top {len(shown)} of {len(rows)} by |cost delta|)")
+        for entry in shown:
+            name = entry["alloc" if key == "by_alloc" else
+                         "site" if key == "by_site" else "category"]
+            presence = ("" if entry["in_a"] and entry["in_b"]
+                        else " [only in A]" if entry["in_a"] else " [only in B]")
+            lines.append(f"  {name}{presence}")
+            if key == "by_alloc" and (entry.get("alloc_site_a")
+                                      or entry.get("alloc_site_b")):
+                site_a = entry.get("alloc_site_a") or "-"
+                site_b = entry.get("alloc_site_b") or "-"
+                site = site_a if site_a == site_b else f"{site_a} -> {site_b}"
+                lines.append(f"    allocated at {site}")
+            for metric in ("cost", "moved", "bytes", "pages", "events"):
+                d = entry[metric]
+                if d["flag"] == "unchanged" and d["delta"] == 0:
+                    continue
+                lines.append(f"    {metric:<7} " + _fmt_delta(metric, d, color))
+        lines.append("")
+    cp = diff.get("critical_path", {})
+    if cp:
+        lines.append("critical path cost: "
+                     + _fmt_delta("cost", cp["cost"], color))
+    s = diff.get("summary", {})
+    lines.append(f"verdict: {s.get('verdict', '?')} "
+                 f"({s.get('improved_keys', 0)} keys improved, "
+                 f"{s.get('regressed_keys', 0)} regressed)")
+    return "\n".join(lines).rstrip() + "\n"

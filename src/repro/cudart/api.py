@@ -28,6 +28,7 @@ import numpy as np
 from ..memsim import (
     PAGE_SIZE,
     Allocation,
+    CauseLink,
     Event,
     EventKind,
     MemoryKind,
@@ -64,8 +65,46 @@ class CudaRuntime:
         self.current_proc: Processor = Processor.CPU
         self._accessors: int = 1
         self._kernel_depth = 0
+        self._current_kernel = ""
         self._streams: list[Stream] = []
         self.kernel_launches = 0
+
+    # ------------------------------------------------------------------ #
+    # causal blame (only active while the driver has track_causes set)
+
+    def _blame(self, api: str, alloc: Allocation | None = None) -> None:
+        """Fill the driver's blame context before entering it.
+
+        Called on every UM entry point but returns immediately unless the
+        driver is tracking causes, so plain runs pay one attribute load
+        and a branch.
+        """
+        um = self.platform.um
+        if not um.track_causes:
+            return
+        site = ""
+        if um.blame_sites:
+            from ..heatmap.attribution import caller_site
+            s = caller_site()
+            if s is not None:
+                site = s.label
+        um.blame.set(site=site, kernel=self._current_kernel, api=api,
+                     alloc="" if alloc is None else alloc.label)
+
+    def _transfer_cause(self, dst: Allocation | None,
+                        src: Allocation | None) -> CauseLink | None:
+        """Cause link for an explicit-transfer event (None when not tracking)."""
+        um = self.platform.um
+        if not um.track_causes:
+            return None
+        label = ""
+        for alloc in (dst, src):
+            if alloc is not None and alloc.label:
+                label = alloc.label
+                break
+        b = um.blame
+        return CauseLink(site=b.site, kernel=b.kernel, api="memcpy",
+                         alloc=label)
 
     # ------------------------------------------------------------------ #
     # observers
@@ -111,6 +150,12 @@ class CudaRuntime:
             self.platform.um.register(alloc)
         except MemoryError as exc:
             raise CudaError(cudaError_t.cudaErrorMemoryAllocation, str(exc)) from exc
+        um = self.platform.um
+        if um.track_causes and um.blame_sites:
+            from ..heatmap.attribution import caller_site
+            s = caller_site()
+            if s is not None:
+                alloc.site = s.label
         for obs in tuple(self.observers):
             obs.on_alloc(alloc)
         return DevicePtr(self, alloc)
@@ -159,6 +204,7 @@ class CudaRuntime:
         src_alloc, src_off = self._resolve(src, nbytes, "src")
         self._check_direction(kind, dst_alloc, src_alloc)
 
+        self._blame("memcpy")
         cost = 0.0
         # Managed endpoints behave like CPU-side accesses through the UM
         # driver (the copy engine is the CPU here).
@@ -166,6 +212,7 @@ class CudaRuntime:
             (src_alloc, src_off, False), (dst_alloc, dst_off, True),
         ):
             if alloc is not None and alloc.kind is MemoryKind.MANAGED:
+                self._blame("memcpy", alloc)
                 lo, hi = alloc.page_range(alloc.base + off, nbytes)
                 cost += self.platform.um.access(
                     alloc, lo, hi, Processor.CPU,
@@ -185,6 +232,7 @@ class CudaRuntime:
         self.platform.events.record(Event(
             EventKind.TRANSFER, self.platform.clock.now, self.current_proc,
             nbytes=nbytes, cost=cost, detail=direction,
+            cause=self._transfer_cause(dst_alloc, src_alloc),
         ))
         if stream is None:
             self.platform.clock.advance(cost)
@@ -204,6 +252,7 @@ class CudaRuntime:
         alloc, off = self._resolve(dst, nbytes, "dst")
         assert alloc is not None
         if alloc.kind is MemoryKind.MANAGED:
+            self._blame("memset", alloc)
             lo, hi = alloc.page_range(alloc.base + off, nbytes)
             cost = self.platform.um.access(
                 alloc, lo, hi, Processor.CPU, is_write=True, nbytes=nbytes,
@@ -235,6 +284,7 @@ class CudaRuntime:
         if alloc.kind is not MemoryKind.MANAGED:
             raise CudaError(cudaError_t.cudaErrorInvalidValue,
                             "cudaMemAdvise requires managed memory")
+        self._blame("advise", alloc)
         lo, hi = alloc.page_range(ptr.addr, nbytes)
         um = self.platform.um
         A = cudaMemoryAdvise
@@ -263,6 +313,7 @@ class CudaRuntime:
         if alloc.kind is not MemoryKind.MANAGED:
             raise CudaError(cudaError_t.cudaErrorInvalidValue,
                             "prefetch requires managed memory")
+        self._blame("prefetch", alloc)
         lo, hi = alloc.page_range(ptr.addr, nbytes)
         cost = self.platform.um.prefetch(alloc, lo, hi, processor_from_device_id(device_id))
         if stream is None:
@@ -300,8 +351,9 @@ class CudaRuntime:
 
         ctx = KernelContext(self, config, kname)
         mem_cost = 0.0
-        prev = (self.current_proc, self._accessors)
+        prev = (self.current_proc, self._accessors, self._current_kernel)
         self.current_proc, self._accessors = Processor.GPU, grid
+        self._current_kernel = kname
         self._kernel_depth += 1
         self._kernel_mem_cost = 0.0
         try:
@@ -309,7 +361,7 @@ class CudaRuntime:
             mem_cost = self._kernel_mem_cost
         finally:
             self._kernel_depth -= 1
-            self.current_proc, self._accessors = prev
+            self.current_proc, self._accessors, self._current_kernel = prev
 
         n = work if work is not None else config.threads
         duration = self.platform.gpu.compute_time(n, ops_per_element) + mem_cost
@@ -395,6 +447,7 @@ class CudaRuntime:
             lo, hi = int(touched[0]), int(touched[-1]) + 1
             pages = touched
 
+        self._blame("access", alloc)
         out = self.platform.um.access(
             alloc, lo, hi, proc,
             is_write=is_write, nbytes=nbytes,

@@ -16,7 +16,40 @@ from pathlib import Path
 from . import figures, tables  # noqa: F401  (importing registers experiments)
 from .base import EXPERIMENTS, ExperimentResult
 
-__all__ = ["main", "rows_to_csv"]
+__all__ = ["main", "rows_to_csv", "PLACEMENT_PAIRS"]
+
+#: Experiments comparing two placement variants of one workload:
+#: experiment id -> (baseline workload, optimized/advised workload), both
+#: names from :data:`repro.telemetry.cli.WORKLOADS`.  ``--why`` captures
+#: each variant with causal provenance and auto-diffs the pair.
+PLACEMENT_PAIRS: dict[str, tuple[str, str]] = {
+    "fig9": ("sw", "sw-advised"),
+    "fig11": ("pathfinder", "pathfinder-opt"),
+}
+
+
+def _run_why(name: str, why_dir: Path) -> None:
+    """Capture + diff the placement pair behind experiment ``name``."""
+    from ..causes.capture import run_with_causes
+    from ..causes.diff import diff_reports
+    from ..causes.render import render_diff
+
+    pair = PLACEMENT_PAIRS.get(name)
+    if pair is None:
+        print(f"why: {name} has no placement pair; "
+              f"known: {', '.join(sorted(PLACEMENT_PAIRS))}")
+        return
+    base, cand = pair
+    exp_dir = why_dir / name
+    result_a = run_with_causes(base, "pcie", exp_dir / base)
+    result_b = run_with_causes(cand, "pcie", exp_dir / cand)
+    diff = diff_reports(result_a["report"], result_b["report"],
+                        label_a=base, label_b=cand)
+    import json
+    (exp_dir / "why_diff.json").write_text(
+        json.dumps(diff, indent=2, sort_keys=False) + "\n")
+    print(f"why: {name} ({base} vs {cand}) -> {exp_dir / 'why_diff.json'}")
+    print(render_diff(diff, limit=5), end="")
 
 
 def rows_to_csv(result: ExperimentResult) -> str:
@@ -68,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="with --telemetry-dir: also record access "
                              "heat and render DIR/<id>/report.html")
+    parser.add_argument("--why", metavar="DIR",
+                        help="for experiments with a placement pair "
+                             "(fig9, fig11): capture both variants with "
+                             "causal provenance and write DIR/<id>/"
+                             "why_diff.json plus the diff summary")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -126,6 +164,8 @@ def main(argv: list[str] | None = None) -> int:
         print(result)
         if csv_dir is not None:
             (csv_dir / f"{name}.csv").write_text(rows_to_csv(result))
+        if args.why is not None:
+            _run_why(name, Path(args.why))
     return 0
 
 

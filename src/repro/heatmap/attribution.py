@@ -32,6 +32,7 @@ SKIP_MODULES = (
     "repro.cudart",
     "repro.memsim",
     "repro.telemetry",
+    "repro.causes",
 )
 
 

@@ -77,13 +77,17 @@ REPORT_RUNNERS: dict[str, Callable[[Session], WorkloadRun]] = {
 
 def run_report(workload: str, platform: str, out_dir: str | Path, *,
                buckets: int = 64, attribute: bool = True,
-               materialize: bool = True) -> dict[str, Path]:
+               materialize: bool = True, why: bool = False) -> dict[str, Path]:
     """Run ``workload`` with heat recording and write the report bundle.
 
     Returns artifact paths: ``report`` (HTML) plus everything
     :meth:`TelemetryRecorder.flush` wrote (timeline, metrics, events,
     heat_csv, heat_npz).  The :class:`HeatStore` rides along under the
     ``"store"`` key for programmatic callers (``--ansi``, tests).
+
+    With ``why=True`` the run is captured with causal provenance: the
+    report gains the causal-blame section and ``causes.json`` is written
+    next to the other artifacts.
     """
     preset = PLATFORM_ALIASES.get(platform, platform)
     runner = REPORT_RUNNERS.get(workload, WORKLOADS[workload])
@@ -95,8 +99,8 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
                                  heat=heat)
     recorder.workload = workload
     recorder.config = {"platform": preset, "materialize": materialize,
-                       "heat_buckets": buckets}
-    context.install(recorder)
+                       "heat_buckets": buckets, "causes": why}
+    context.install(recorder, track_causes=why)
     try:
         session = make_session(preset, trace=True, materialize=materialize)
         run = runner(session)
@@ -110,12 +114,24 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
         context.uninstall()
     paths = recorder.flush(out)
 
+    causes = None
+    if why:
+        import json
+
+        from ..causes.capture import build_report as build_causes
+
+        causes = build_causes(out)
+        (out / "causes.json").write_text(
+            json.dumps(causes, indent=2, sort_keys=False) + "\n")
+        paths["causes"] = out / "causes.json"
+
     stats = {k: v for k, v in run.stats.items()
              if isinstance(v, (int, float))}
     stats.setdefault("sim_time", run.sim_time)
     report = build_report(workload=workload, platform=preset, store=heat,
                           diagnoses=diagnoses,
-                          metrics=recorder.metrics.snapshot(), stats=stats)
+                          metrics=recorder.metrics.snapshot(), stats=stats,
+                          causes=causes)
     report_path = out / "report.html"
     report_path.write_text(report)
     paths["report"] = report_path
@@ -143,6 +159,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip source-line attribution (lower overhead)")
     parser.add_argument("--footprint", action="store_true",
                         help="footprint-only allocations (no numpy backing)")
+    parser.add_argument("--why", action="store_true",
+                        help="capture causal provenance: adds the causal-"
+                             "blame report section and writes causes.json")
     parser.add_argument("--ansi", action="store_true",
                         help="also print the terminal heatmap to stdout")
     parser.add_argument("--epoch", type=int, default=None,
@@ -171,7 +190,8 @@ def main(argv: list[str] | None = None) -> int:
     paths = run_report(args.workload, preset, args.out,
                        buckets=args.buckets,
                        attribute=not args.no_attribution,
-                       materialize=not args.footprint)
+                       materialize=not args.footprint,
+                       why=args.why)
     store: HeatStore = paths.pop("store")  # type: ignore[assignment]
     if args.ansi:
         color = False if args.no_color else supports_color()

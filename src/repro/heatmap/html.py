@@ -304,6 +304,68 @@ def _findings_section(diagnoses: Sequence[Any]) -> str:
     return "".join(parts)
 
 
+def _blame_table(rows: Sequence[Mapping[str, Any]], key: str,
+                 limit: int = 10) -> str:
+    from ..causes.render import format_bytes, format_cost
+
+    out = [f"<table><tr><th>{_esc(key)}</th><th>events</th><th>pages</th>"
+           "<th>bytes</th><th>moved</th><th>cost</th></tr>"]
+    for r in rows[:limit]:
+        out.append(
+            f"<tr><td>{_esc(r[key])}</td><td>{r['events']:,}</td>"
+            f"<td>{r['pages']:,}</td><td>{_esc(format_bytes(r['bytes']))}</td>"
+            f"<td>{_esc(format_bytes(r.get('moved', 0)))}</td>"
+            f"<td>{_esc(format_cost(r['cost']))}</td></tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def _causes_section(causes: Mapping[str, Any] | None) -> str:
+    """Causal blame + critical path (from a ``repro.causes`` report)."""
+    if not causes:
+        return ""
+    from ..causes.render import format_bytes, format_cost
+
+    t = causes.get("totals", {})
+    parts = [
+        "<h2>Causal blame</h2>",
+        f'<div class="sub">{t.get("events", 0):,} driver events &middot; '
+        f'{_esc(format_bytes(t.get("moved", 0)))} moved across the link '
+        f'&middot; {_esc(format_cost(t.get("cost", 0.0)))} attributed '
+        "driver cost</div>",
+    ]
+    for title, key_name, rows_key in (
+        ("by source site", "site", "by_site"),
+        ("by allocation", "alloc", "by_alloc"),
+        ("by anti-pattern category", "category", "by_category"),
+        ("by kernel", "kernel", "by_kernel"),
+    ):
+        rows = causes.get(rows_key, [])
+        if not rows:
+            continue
+        parts.append(f"<h3>{_esc(title)}</h3>")
+        parts.append(_blame_table(rows, key_name))
+    cp = causes.get("critical_path", {})
+    if cp.get("events"):
+        parts.append(
+            f"<h3>critical path</h3>"
+            f'<div class="sub">{_esc(format_cost(cp.get("cost", 0.0)))} over '
+            f'{cp.get("length", 0)} causally linked events</div>')
+        parts.append(
+            "<details><summary>path events</summary><table>"
+            "<tr><th>event</th><th>kind</th><th>category</th><th>pages</th>"
+            "<th>cost</th><th>alloc</th><th>site / kernel</th></tr>"
+            + "".join(
+                f"<tr><td>#{n['id']}</td><td>{_esc(n['kind'])}</td>"
+                f"<td>{_esc(n['category'])}</td><td>{n['pages']:,}</td>"
+                f"<td>{_esc(format_cost(n['cost']))}</td>"
+                f"<td>{_esc(n['alloc'] or '-')}</td>"
+                f"<td>{_esc(n['site'] or n['kernel'] or '-')}</td></tr>"
+                for n in cp["events"])
+            + "</table></details>")
+    return "".join(parts)
+
+
 def _metrics_section(metrics: Mapping[str, Mapping[str, float]] | None) -> str:
     if not metrics:
         return ""
@@ -354,6 +416,7 @@ def build_report(
     diagnoses: Sequence[Any] = (),
     metrics: Mapping[str, Mapping[str, float]] | None = None,
     stats: Mapping[str, Any] | None = None,
+    causes: Mapping[str, Any] | None = None,
     artifacts: Iterable[str] = ("timeline.json", "events.jsonl",
                                 "metrics.prom"),
 ) -> str:
@@ -364,6 +427,8 @@ def build_report(
         passes; findings become overlays + the diagnoses section.
     :param metrics: :meth:`MetricsRegistry.snapshot` output.
     :param stats: the workload's numeric run stats (headline tiles).
+    :param causes: a :meth:`repro.causes.CausalGraph.report` dict; adds
+        the causal-blame section (runs captured with ``--why``).
     :param artifacts: sibling artifact file names to link.
     """
     findings_index = _findings_by_alloc_epoch(diagnoses)
@@ -381,6 +446,7 @@ def build_report(
         body.append('<div class="none">no heat recorded '
                     '(was the heat store attached?)</div>')
     body.append(_findings_section(diagnoses))
+    body.append(_causes_section(causes))
     body.append(_metrics_section(metrics))
     links = " &middot; ".join(f"<code>{_esc(a)}</code>" for a in artifacts)
     body.append(

@@ -18,11 +18,17 @@ from .devices import (
     Processor,
     processor_from_device_id,
 )
-from .events import Event, EventKind, EventLog
+from .events import CauseLink, Event, EventKind, EventLog
 from .interconnect import Link, LinkStats, nvlink2, pcie3
 from .pages import NO_PREFERENCE, PageState, contiguous_runs
 from .platform import PLATFORMS, Platform, intel_pascal, intel_volta, power9_volta
-from .unified_memory import AccessOutcome, MetricsHook, UMCostParams, UnifiedMemoryDriver
+from .unified_memory import (
+    AccessOutcome,
+    BlameContext,
+    MetricsHook,
+    UMCostParams,
+    UnifiedMemoryDriver,
+)
 
 __all__ = [
     "PAGE_SIZE",
@@ -36,6 +42,7 @@ __all__ = [
     "DeviceSpec",
     "Processor",
     "processor_from_device_id",
+    "CauseLink",
     "Event",
     "EventKind",
     "EventLog",
@@ -53,6 +60,7 @@ __all__ = [
     "intel_volta",
     "power9_volta",
     "AccessOutcome",
+    "BlameContext",
     "UMCostParams",
     "UnifiedMemoryDriver",
 ]

@@ -57,6 +57,8 @@ class Allocation:
     :param freed: set when the allocation has been released; the metadata
         survives until the next diagnostic (paper: the ``cudaFree`` wrapper
         "delays freeing the shadow memory until the next diagnostic").
+    :param site: source site (``file:line (func)``) of the allocating call,
+        captured by the runtime when causal tracking is on; empty otherwise.
     """
 
     base: int
@@ -66,6 +68,7 @@ class Allocation:
     data: np.ndarray | None = None
     freed: bool = False
     serial: int = field(default=0)
+    site: str = ""
 
     @property
     def end(self) -> int:

@@ -6,18 +6,26 @@ The log serves two purposes: tests assert on driver behaviour through it,
 and the evaluation harness derives fault/migration statistics from it
 (e.g. the "GPU page fault groups" the paper attributes Smith-Waterman's
 slow runs to).
+
+Since the causal-provenance work every event also carries a **stable id**
+(its position in the recording sequence) and an optional **cause link**
+(:class:`CauseLink`): which source line / kernel / API call triggered the
+work, and the id of the upstream event that made it necessary -- e.g. a
+GPU fault whose ``parent`` is the CPU-triggered migration that stole the
+page.  :mod:`repro.causes` builds blame tables and critical paths from
+these links.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import Counter
-from dataclasses import dataclass, field
+from collections import Counter, deque
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from .devices import Processor
 
-__all__ = ["EventKind", "Event", "EventLog"]
+__all__ = ["EventKind", "Event", "EventLog", "CauseLink"]
 
 
 class EventKind(enum.Enum):
@@ -35,6 +43,31 @@ class EventKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class CauseLink:
+    """Why one driver event happened.
+
+    :param site: source site (``file:line (func)``) of the triggering
+        access/API call, when attribution is enabled.
+    :param kernel: kernel executing when the work was triggered (empty for
+        host-side work).
+    :param api: runtime verb that entered the driver: ``access``,
+        ``memcpy``, ``memset``, ``prefetch`` or ``advise``.
+    :param alloc: label of the allocation whose access triggered the work
+        (for evictions this is the *incoming* allocation that created the
+        capacity pressure, not the victim).
+    :param parent: id of the upstream event that made this work necessary
+        (-1 when none): a re-fault's parent is the migration, invalidation
+        or eviction that removed the page.
+    """
+
+    site: str = ""
+    kernel: str = ""
+    api: str = ""
+    alloc: str = ""
+    parent: int = -1
+
+
+@dataclass(frozen=True)
 class Event:
     """One driver event.
 
@@ -45,6 +78,9 @@ class Event:
     :param nbytes: bytes moved/touched, when meaningful.
     :param cost: simulated seconds charged for the event.
     :param detail: free-form annotation (allocation label etc.).
+    :param cause: optional provenance link (see :class:`CauseLink`).
+    :param id: stable sequence id, assigned by :meth:`EventLog.record`
+        (-1 until recorded).
     """
 
     kind: EventKind
@@ -54,37 +90,69 @@ class Event:
     nbytes: int = 0
     cost: float = 0.0
     detail: str = ""
+    cause: CauseLink | None = None
+    id: int = -1
 
 
 class EventLog:
-    """Append-only sequence of :class:`Event` with aggregate counters."""
+    """Append-only sequence of :class:`Event` with aggregate counters.
 
-    def __init__(self, *, keep_events: bool = True, capacity: int = 1_000_000) -> None:
+    Retention: with ``ring=False`` (default) the log stops retaining
+    events beyond ``capacity`` and degrades to counters-only, preserving
+    the oldest window.  With ``ring=True`` the log keeps the *most recent*
+    ``capacity`` events instead (plus up to ``capacity`` per kind in the
+    kind index), so unbounded runs can stream forever at a fixed
+    footprint.  Aggregate counters always cover the full run either way.
+    """
+
+    def __init__(self, *, keep_events: bool = True, capacity: int = 1_000_000,
+                 ring: bool = False) -> None:
         """:param keep_events: if False, only counters are kept (cheap mode
             for large footprint runs).
-        :param capacity: hard bound on retained events; beyond it the log
-            degrades to counters-only rather than exhausting memory.
+        :param capacity: bound on retained events; beyond it the log either
+            degrades to counters-only (``ring=False``) or drops the oldest
+            events (``ring=True``) rather than exhausting memory.
+        :param ring: retain the newest ``capacity`` events instead of the
+            oldest.
         """
-        self._events: list[Event] = []
         self._keep = keep_events
         self._capacity = capacity
+        self._ring = ring
+        if ring:
+            self._events: deque[Event] | list[Event] = deque(maxlen=capacity)
+        else:
+            self._events = []
+        self._by_kind: dict[EventKind, deque[Event] | list[Event]] = {}
+        self._next_id = 0
         self._listeners: list[Callable[[Event], None]] = []
         self.counts: Counter[EventKind] = Counter()
         self.pages: Counter[EventKind] = Counter()
         self.bytes: Counter[EventKind] = Counter()
         self.costs: dict[EventKind, float] = {k: 0.0 for k in EventKind}
 
-    def record(self, event: Event) -> None:
-        """Append ``event`` and update aggregates."""
+    def record(self, event: Event) -> Event:
+        """Append ``event``, assign its id and update aggregates.
+
+        Returns the event (now carrying its stable ``id``) so callers can
+        reference it in later cause links.
+        """
+        object.__setattr__(event, "id", self._next_id)
+        self._next_id += 1
         self.counts[event.kind] += 1
         self.pages[event.kind] += event.pages
         self.bytes[event.kind] += event.nbytes
         self.costs[event.kind] += event.cost
-        if self._keep and len(self._events) < self._capacity:
+        if self._keep and (self._ring or len(self._events) < self._capacity):
             self._events.append(event)
+            index = self._by_kind.get(event.kind)
+            if index is None:
+                index = deque(maxlen=self._capacity) if self._ring else []
+                self._by_kind[event.kind] = index
+            index.append(event)
         if self._listeners:
             for cb in tuple(self._listeners):
                 cb(event)
+        return event
 
     # ------------------------------------------------------------------ #
     # live taps (telemetry)
@@ -111,8 +179,8 @@ class EventLog:
         return iter(self._events)
 
     def of_kind(self, kind: EventKind) -> list[Event]:
-        """All retained events of ``kind`` in order."""
-        return [e for e in self._events if e.kind is kind]
+        """All retained events of ``kind`` in order (O(k) via the index)."""
+        return list(self._by_kind.get(kind, ()))
 
     @property
     def fault_groups(self) -> int:
@@ -129,8 +197,10 @@ class EventLog:
         return sum(self.costs.values())
 
     def clear(self) -> None:
-        """Drop all events and counters."""
+        """Drop all events, counters and the id sequence."""
         self._events.clear()
+        self._by_kind.clear()
+        self._next_id = 0
         self.counts.clear()
         self.pages.clear()
         self.bytes.clear()

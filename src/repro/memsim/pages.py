@@ -37,6 +37,10 @@ class PageState:
       the driver keeps ``p``'s mapping up to date across migrations.
     * ``last_use[i]`` -- logical LRU tick of the last GPU access (drives
       capacity eviction).
+    * ``displaced_by[i]`` -- id of the driver event (migration, invalidation
+      or eviction) that last removed page ``i`` from a processor, or -1.
+      Lets a later re-fault name the event that made it necessary; only
+      maintained when the driver runs with ``track_causes``.
     """
 
     npages: int
@@ -46,6 +50,7 @@ class PageState:
     preferred: np.ndarray = field(init=False)
     accessed_by: np.ndarray = field(init=False)
     last_use: np.ndarray = field(init=False)
+    displaced_by: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         if self.npages <= 0:
@@ -57,6 +62,7 @@ class PageState:
         self.preferred = np.full(n, NO_PREFERENCE, dtype=np.int8)
         self.accessed_by = np.zeros((2, n), dtype=bool)
         self.last_use = np.zeros(n, dtype=np.int64)
+        self.displaced_by = np.full(n, -1, dtype=np.int64)
 
     def populated(self) -> np.ndarray:
         """Mask of pages that have been touched at least once."""

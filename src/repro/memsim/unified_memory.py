@@ -31,11 +31,17 @@ import numpy as np
 from .address_space import PAGE_SIZE, Allocation, MemoryKind
 from .clock import SimClock
 from .devices import Processor
-from .events import Event, EventKind, EventLog
+from .events import CauseLink, Event, EventKind, EventLog
 from .interconnect import Link
 from .pages import NO_PREFERENCE, PageState, contiguous_runs
 
-__all__ = ["UMCostParams", "UnifiedMemoryDriver", "AccessOutcome", "MetricsHook"]
+__all__ = [
+    "UMCostParams",
+    "UnifiedMemoryDriver",
+    "AccessOutcome",
+    "MetricsHook",
+    "BlameContext",
+]
 
 #: Signature of the driver's metric emission hook: ``hook(name, value,
 #: labels)``.  Kept as a plain callable so :mod:`repro.memsim` stays free
@@ -84,6 +90,34 @@ class UMCostParams:
 
 
 @dataclass
+class BlameContext:
+    """Who is currently driving the UM driver (set by the runtime).
+
+    The CUDA runtime fills this in around each driver entry point
+    (``access``/``memcpy``/``prefetch``/``advise``) when ``track_causes``
+    is on; the driver copies it into the :class:`~.events.CauseLink` of
+    every event it records, so a migration can later be blamed on the
+    kernel and source line whose access triggered it.
+    """
+
+    site: str = ""
+    kernel: str = ""
+    api: str = ""
+    alloc: str = ""
+
+    def set(self, *, site: str = "", kernel: str = "", api: str = "",
+            alloc: str = "") -> None:
+        """Replace the whole context in one call (hot path, no kwargs loop)."""
+        self.site = site
+        self.kernel = kernel
+        self.api = api
+        self.alloc = alloc
+
+    def clear(self) -> None:
+        self.set()
+
+
+@dataclass
 class AccessOutcome:
     """What one :meth:`UnifiedMemoryDriver.access` call did and cost."""
 
@@ -116,6 +150,18 @@ class UnifiedMemoryDriver:
         #: Optional telemetry tap (see :data:`MetricsHook`); ``None`` keeps
         #: the access path free of any telemetry cost.
         self.metrics_hook: MetricsHook | None = None
+        #: When True, every recorded event carries a :class:`CauseLink`
+        #: built from :attr:`blame` plus per-page displacement history
+        #: (see ``PageState.displaced_by``).  Off by default: plain traced
+        #: runs stay byte-identical to pre-provenance behaviour.
+        self.track_causes = False
+        #: Sub-flag of ``track_causes``: also walk the Python stack for the
+        #: triggering source site.  Sites make blame actionable but cost a
+        #: frame walk per runtime entry; disable for cheap causal runs.
+        self.blame_sites = True
+        #: Triggering-context scratchpad the runtime fills in around each
+        #: driver call while ``track_causes`` is enabled.
+        self.blame = BlameContext()
         self._states: dict[int, PageState] = {}       # managed alloc base -> state
         self._managed: dict[int, Allocation] = {}
         self._device_pages = 0                        # cudaMalloc residency
@@ -186,10 +232,12 @@ class UnifiedMemoryDriver:
             if both.any():
                 dropped = int(both.sum())
                 st.present[Processor.CPU, lo:hi] &= ~both
-                self.log.record(Event(
+                ev = self.log.record(Event(
                     EventKind.INVALIDATION, self.clock.now, Processor.CPU,
                     pages=dropped, detail=f"unset-read-mostly {alloc.label}",
+                    cause=self._cause(alloc=alloc),
                 ))
+                self._mark_displaced(st, np.flatnonzero(both) + lo, ev.id)
 
     def set_preferred_location(
         self, alloc: Allocation, lo: int, hi: int, proc: Processor | None
@@ -216,6 +264,7 @@ class UnifiedMemoryDriver:
                 self.log.record(Event(
                     EventKind.MAP, self.clock.now, proc, pages=n, cost=cost,
                     detail=f"accessed-by {alloc.label}",
+                    cause=self._cause(alloc=alloc),
                 ))
         else:
             st.mapped[proc, lo:hi] &= st.present[proc, lo:hi]
@@ -239,11 +288,13 @@ class UnifiedMemoryDriver:
             moved += npages
         if moved:
             self._move_pages(st, idx, proc)
-            self.log.record(Event(
+            ev = self.log.record(Event(
                 EventKind.MIGRATION, self.clock.now, proc, pages=moved,
                 nbytes=moved * PAGE_SIZE, cost=cost,
                 detail=f"prefetch {alloc.label}",
+                cause=self._cause(alloc=alloc),
             ))
+            self._mark_displaced(st, idx, ev.id)
         # Populate untouched pages at the destination too (cudaMemPrefetch
         # backs unpopulated pages at the target).
         fresh = np.flatnonzero(~st.populated()[lo:hi]) + lo
@@ -325,12 +376,14 @@ class UnifiedMemoryDriver:
                 self.log.record(Event(
                     EventKind.PAGE_FAULT, self.clock.now, proc,
                     pages=n_fresh, detail=f"first-touch {alloc.label}",
+                    cause=self._cause(alloc=alloc),
                 ))
             out.cost += cost
             out.populated_pages += n_fresh
             self.log.record(Event(
                 EventKind.POPULATE, self.clock.now, proc, pages=n_fresh,
                 cost=cost, detail=alloc.label,
+                cause=self._cause(alloc=alloc),
             ))
             here = st.present[proc, page_idx]  # refreshed view
 
@@ -352,6 +405,7 @@ class UnifiedMemoryDriver:
             self.log.record(Event(
                 EventKind.REMOTE_ACCESS, self.clock.now, proc, pages=n_remote,
                 nbytes=rbytes, cost=cost, detail=alloc.label,
+                cause=self._cause(alloc=alloc),
             ))
 
         # --- faulting pages: not here, not served remotely -------------- #
@@ -386,10 +440,12 @@ class UnifiedMemoryDriver:
                 self.log.record(Event(
                     EventKind.PAGE_FAULT, self.clock.now, proc,
                     pages=len(map_idx), cost=0.0, detail=f"mapped {alloc.label}",
+                    cause=self._cause(self._displacer(st, map_idx), alloc),
                 ))
                 self.log.record(Event(
                     EventKind.MAP, self.clock.now, proc, pages=len(map_idx),
                     cost=cost, detail=alloc.label,
+                    cause=self._cause(alloc=alloc),
                 ))
                 fault_idx = fault_idx[~pref_other]
             elif self.link.coherent and not is_write:
@@ -406,12 +462,14 @@ class UnifiedMemoryDriver:
                 self.log.record(Event(
                     EventKind.PAGE_FAULT, self.clock.now, proc,
                     pages=len(fault_idx), detail=f"coherent {alloc.label}",
+                    cause=self._cause(self._displacer(st, fault_idx), alloc),
                 ))
                 self.log.record(Event(
                     EventKind.REMOTE_ACCESS, self.clock.now, proc,
                     pages=len(fault_idx),
                     nbytes=len(fault_idx) * bytes_per_page, cost=cost,
                     detail=alloc.label,
+                    cause=self._cause(alloc=alloc),
                 ))
                 fault_idx = fault_idx[:0]
 
@@ -428,10 +486,12 @@ class UnifiedMemoryDriver:
                 cost = n_dup * p.invalidation_time
                 out.cost += cost
                 out.invalidated_pages += n_dup
-                self.log.record(Event(
+                ev = self.log.record(Event(
                     EventKind.INVALIDATION, self.clock.now, proc, pages=n_dup,
                     cost=cost, detail=alloc.label,
+                    cause=self._cause(alloc=alloc),
                 ))
+                self._mark_displaced(st, page_idx[dup], ev.id)
 
         # --- plain hits: refresh LRU --------------------------------- #
         if proc is Processor.GPU:
@@ -463,6 +523,34 @@ class UnifiedMemoryDriver:
 
     # ------------------------------------------------------------------ #
     # internals
+
+    def _cause(self, parent: int = -1,
+               alloc: Allocation | None = None) -> CauseLink | None:
+        """Cause link for the event being recorded (None when not tracking).
+
+        ``alloc`` overrides the blame context's allocation label -- the
+        driver knows the touched allocation more precisely than the runtime
+        for per-allocation events; evictions keep the context's label (the
+        *incoming* allocation that created the pressure).
+        """
+        if not self.track_causes:
+            return None
+        b = self.blame
+        label = b.alloc if alloc is None else (alloc.label or b.alloc)
+        return CauseLink(site=b.site, kernel=b.kernel, api=b.api,
+                         alloc=label, parent=parent)
+
+    def _mark_displaced(self, st: PageState, idx: np.ndarray,
+                        event_id: int) -> None:
+        """Remember that ``event_id`` removed pages ``idx`` from somewhere."""
+        if self.track_causes and len(idx):
+            st.displaced_by[idx] = event_id
+
+    def _displacer(self, st: PageState, idx: np.ndarray) -> int:
+        """Most recent event that displaced any page in ``idx`` (-1 if none)."""
+        if not self.track_causes or len(idx) == 0:
+            return -1
+        return int(st.displaced_by[idx].max())
 
     def _can_map_remotely(self, proc: Processor) -> bool:
         # The GPU can map host memory on any link (zero-copy over PCIe,
@@ -516,6 +604,7 @@ class UnifiedMemoryDriver:
         service = p.fault_service
         if proc is Processor.GPU and self.oversubscribed:
             service *= p.pressure_factor
+        first_fault = -1
         for a, b in runs:
             npages = b - a
             group_cost = (
@@ -525,16 +614,25 @@ class UnifiedMemoryDriver:
             )
             cost += group_cost
             out.fault_groups += 1
-            self.log.record(Event(
+            # The fault's parent is whatever event last removed one of these
+            # pages from the faulting processor (migration the other way,
+            # invalidation, eviction) -- the "why did we fault again" link.
+            parent = int(st.displaced_by[a:b].max()) if self.track_causes else -1
+            ev = self.log.record(Event(
                 EventKind.PAGE_FAULT, self.clock.now, proc, pages=npages,
                 cost=group_cost, detail=alloc.label,
+                cause=self._cause(parent, alloc),
             ))
+            if first_fault < 0:
+                first_fault = ev.id
         self._move_pages(st, idx, proc)
         out.migrated_pages += len(idx)
-        self.log.record(Event(
+        mig = self.log.record(Event(
             EventKind.MIGRATION, self.clock.now, proc, pages=len(idx),
             nbytes=len(idx) * PAGE_SIZE, detail=alloc.label,
+            cause=self._cause(first_fault, alloc),
         ))
+        self._mark_displaced(st, idx, mig.id)
         return cost
 
     def _duplicate(
@@ -565,6 +663,7 @@ class UnifiedMemoryDriver:
         self.log.record(Event(
             EventKind.DUPLICATION, self.clock.now, proc, pages=len(idx),
             nbytes=len(idx) * PAGE_SIZE, cost=cost, detail=alloc.label,
+            cause=self._cause(self._displacer(st, idx), alloc),
         ))
         return cost
 
@@ -593,6 +692,7 @@ class UnifiedMemoryDriver:
 
         total_evicted = 0
         cost = self.params.eviction_service
+        victim_batches: list[tuple[PageState, np.ndarray]] = []
         while self.gpu_pages_in_use > self.gpu_capacity_pages:
             # Find the global LRU GPU-resident, unpinned page.
             best: tuple[int, PageState, int] | None = None
@@ -625,12 +725,19 @@ class UnifiedMemoryDriver:
             cost += self.link.transfer_time(len(victims) * PAGE_SIZE)
             total_evicted += len(victims)
             self._gpu_managed_pages -= len(victims)
+            if self.track_causes:
+                victim_batches.append((st, victims))
         self.clock.advance(cost)
-        self.log.record(Event(
+        # The eviction's blame stays on the *incoming* access (the blame
+        # context): the allocation being faulted in created the pressure.
+        ev = self.log.record(Event(
             EventKind.EVICTION, self.clock.now, Processor.GPU,
             pages=total_evicted, nbytes=total_evicted * PAGE_SIZE, cost=cost,
             detail="lru-block-eviction",
+            cause=self._cause(),
         ))
+        for vst, victims in victim_batches:
+            self._mark_displaced(vst, victims, ev.id)
         if self.metrics_hook is not None:
             self.metrics_hook("um_evicted_pages", float(total_evicted),
                               {"proc": Processor.GPU.name})

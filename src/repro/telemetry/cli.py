@@ -67,6 +67,11 @@ def _sw_rotated(session: Session) -> WorkloadRun:
     return RotatedSmithWaterman(session, 192).run()
 
 
+def _sw_advised(session: Session) -> WorkloadRun:
+    from ..workloads.smithwaterman import AdvisedSmithWaterman
+    return AdvisedSmithWaterman(session, 192).run()
+
+
 def _backprop(session: Session) -> WorkloadRun:
     from ..workloads.rodinia import Backprop
     return Backprop(session, input_size=4096).run()
@@ -99,6 +104,7 @@ WORKLOADS: dict[str, Callable[[Session], WorkloadRun]] = {
     "lulesh": _lulesh,
     "sw": _sw,
     "sw-rotated": _sw_rotated,
+    "sw-advised": _sw_advised,
     "backprop": _backprop,
     "cfd": _cfd,
     "gaussian": _gaussian,

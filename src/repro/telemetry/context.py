@@ -13,24 +13,38 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .recorder import TelemetryRecorder
 
-__all__ = ["install", "uninstall", "current_recorder"]
+__all__ = ["install", "uninstall", "current_recorder", "causes_requested"]
 
 _active: "TelemetryRecorder | None" = None
+_track_causes = False
 
 
-def install(recorder: "TelemetryRecorder") -> "TelemetryRecorder":
-    """Make ``recorder`` the process-wide active recorder; returns it."""
-    global _active
+def install(recorder: "TelemetryRecorder", *,
+            track_causes: bool = False) -> "TelemetryRecorder":
+    """Make ``recorder`` the process-wide active recorder; returns it.
+
+    With ``track_causes`` every session auto-attached through this context
+    switches its UM driver into causal-provenance mode (see
+    :meth:`~repro.telemetry.recorder.TelemetryRecorder.attach`).
+    """
+    global _active, _track_causes
     _active = recorder
+    _track_causes = track_causes
     return recorder
 
 
 def uninstall() -> None:
     """Clear the active recorder (sessions stop auto-attaching)."""
-    global _active
+    global _active, _track_causes
     _active = None
+    _track_causes = False
 
 
 def current_recorder() -> "TelemetryRecorder | None":
     """The active recorder, or ``None``."""
     return _active
+
+
+def causes_requested() -> bool:
+    """Whether auto-attached sessions should track causal provenance."""
+    return _track_causes

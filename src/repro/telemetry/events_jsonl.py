@@ -29,7 +29,9 @@ __all__ = [
 ]
 
 #: Bumped whenever record shapes change incompatibly.
-SCHEMA_VERSION = 1
+#: v2: driver events carry a stable ``id`` and an optional ``cause``
+#: provenance block (site/kernel/api/alloc/parent).
+SCHEMA_VERSION = 2
 
 
 def run_manifest(
@@ -61,9 +63,14 @@ def run_manifest(
 
 
 def encode_driver_event(event: Event) -> dict[str, Any]:
-    """A :class:`~repro.memsim.Event` as a flat JSONL record."""
-    return {
+    """A :class:`~repro.memsim.Event` as a flat JSONL record.
+
+    The ``cause`` block is only present on events recorded with causal
+    tracking enabled, so plain traced streams stay compact.
+    """
+    record: dict[str, Any] = {
         "type": "driver_event",
+        "id": event.id,
         "kind": event.kind.value,
         "t": event.time,
         "proc": event.device.name,
@@ -72,6 +79,16 @@ def encode_driver_event(event: Event) -> dict[str, Any]:
         "cost": event.cost,
         "detail": event.detail,
     }
+    if event.cause is not None:
+        c = event.cause
+        record["cause"] = {
+            "site": c.site,
+            "kernel": c.kernel,
+            "api": c.api,
+            "alloc": c.alloc,
+            "parent": c.parent,
+        }
+    return record
 
 
 class JsonlWriter:

@@ -25,7 +25,12 @@ from typing import TYPE_CHECKING, Any, Mapping
 from ..cudart.observer import ObserverBase
 from ..memsim import Event, EventKind, Platform
 
-from .events_jsonl import JsonlWriter, encode_driver_event, run_manifest
+from .events_jsonl import (
+    SCHEMA_VERSION,
+    JsonlWriter,
+    encode_driver_event,
+    run_manifest,
+)
 from .metrics import MetricsRegistry
 from .timeline import (
     TRACK_DRIVER,
@@ -68,6 +73,12 @@ class _SessionHooks:
     #: Heat store the tracer carried before attach (restored on detach).
     prev_heat: Any = None
     heat_installed: bool = False
+    #: Timeline anchor (time, track) of every drawn causal event, so later
+    #: events can point flow arrows back at their parents.
+    event_points: dict[int, tuple[float, int]] = field(default_factory=dict)
+    #: Driver ``track_causes`` value before attach (restored on detach).
+    prev_track_causes: bool = False
+    causes_installed: bool = False
 
 
 class TelemetryRecorder(ObserverBase):
@@ -105,6 +116,7 @@ class TelemetryRecorder(ObserverBase):
         self.stream_driver_events = stream_driver_events
         self.max_timeline_events = max_timeline_events
         self.dropped_timeline_events = 0
+        self._flow_seq = 0
         #: Manifest fields used when the recorder itself has to open the
         #: stream (set by CLIs before the first attach).
         self.workload = ""
@@ -139,16 +151,25 @@ class TelemetryRecorder(ObserverBase):
     # wiring
 
     def attach(self, runtime: "CudaRuntime", tracer: "Tracer | None" = None,
-               *, label: str = "") -> "TelemetryRecorder":
+               *, label: str = "", track_causes: bool = False) -> "TelemetryRecorder":
         """Wire this recorder into ``runtime`` (and optionally ``tracer``).
 
         Subscribes as a runtime observer, adds an event-log listener, and
-        installs the UM driver metrics hook.  Returns self.
+        installs the UM driver metrics hook.  With ``track_causes`` the UM
+        driver is switched into causal-provenance mode for the duration of
+        the attachment: events carry cause links, the JSONL stream gains
+        ``cause`` blocks, and the timeline gains flow arrows from
+        triggering kernels / upstream events to the work they caused.
+        Returns self.
         """
         platform = runtime.platform
         pid = len(self._sessions) + 1
         hooks = _SessionHooks(runtime=runtime, platform=platform, pid=pid,
                               listener=None, tracer=tracer)
+        if track_causes:
+            hooks.prev_track_causes = platform.um.track_causes
+            hooks.causes_installed = True
+            platform.um.track_causes = True
 
         def listener(event: Event, _hooks=hooks) -> None:
             self._on_driver_event(_hooks, event)
@@ -196,6 +217,9 @@ class TelemetryRecorder(ObserverBase):
                 if hooks.tracer.heat is self.heat:
                     hooks.tracer.heat = hooks.prev_heat
                 hooks.heat_installed = False
+            if hooks.causes_installed:
+                hooks.platform.um.track_causes = hooks.prev_track_causes
+                hooks.causes_installed = False
             if self._active is hooks:
                 self._active = None
         self._sessions = remaining
@@ -261,23 +285,68 @@ class TelemetryRecorder(ObserverBase):
                       "bytes served over the link without migration"
                       ).inc(event.nbytes, proc=proc)
 
+        drawn_tid: int | None = None
         if event.kind in _LINK_SPAN_KINDS and self._room_in_timeline():
             name = kind if event.kind is not EventKind.TRANSFER \
                 else f"memcpy {event.detail}"
+            args = {"pages": event.pages, "bytes": event.nbytes,
+                    "detail": event.detail}
+            self._cause_args(event, args)
             self.timeline.span(
                 name, "memory", event.time, event.cost,
-                pid=hooks.pid, tid=TRACK_LINK,
-                args={"pages": event.pages, "bytes": event.nbytes,
-                      "detail": event.detail},
+                pid=hooks.pid, tid=TRACK_LINK, args=args,
             )
+            drawn_tid = TRACK_LINK
         elif event.kind in _DRIVER_INSTANT_KINDS and self._room_in_timeline():
+            args = {"pages": event.pages, "proc": proc,
+                    "detail": event.detail}
+            self._cause_args(event, args)
             self.timeline.instant(
                 kind, "memory", event.time, pid=hooks.pid, tid=TRACK_DRIVER,
-                args={"pages": event.pages, "proc": proc,
-                      "detail": event.detail},
+                args=args,
             )
+            drawn_tid = TRACK_DRIVER
+        if event.cause is not None and drawn_tid is not None:
+            hooks.event_points[event.id] = (event.time, drawn_tid)
+            self._emit_flows(hooks, event, drawn_tid)
         if self.stream_driver_events:
             self._write(encode_driver_event(event))
+
+    @staticmethod
+    def _cause_args(event: Event, args: dict) -> None:
+        """Fold the cause link into a timeline element's args (in place)."""
+        c = event.cause
+        if c is None:
+            return
+        if c.site:
+            args["cause_site"] = c.site
+        if c.kernel:
+            args["cause_kernel"] = c.kernel
+
+    def _emit_flows(self, hooks: _SessionHooks, event: Event, tid: int) -> None:
+        """Draw flow arrows from the event's causes to the event.
+
+        Two arrows can apply: one from the triggering kernel's span on the
+        GPU track (vertical, at the event's own timestamp -- the kernel
+        span encloses it because the simulated clock is frozen during the
+        kernel body), and one from the upstream parent event that made
+        this work necessary.
+        """
+        cause = event.cause
+        assert cause is not None
+        if (cause.kernel and event.kind in _LINK_SPAN_KINDS
+                and self._room_in_timeline()):
+            self._flow_seq += 1
+            self.timeline.flow("cause", "cause", self._flow_seq,
+                               event.time, TRACK_GPU, event.time, tid,
+                               pid=hooks.pid)
+        if cause.parent >= 0:
+            parent = hooks.event_points.get(cause.parent)
+            if parent is not None and self._room_in_timeline():
+                self._flow_seq += 1
+                self.timeline.flow("cause", "cause", self._flow_seq,
+                                   parent[0], parent[1], event.time, tid,
+                                   pid=hooks.pid)
 
     # ------------------------------------------------------------------ #
     # UM driver metrics hook
@@ -315,6 +384,7 @@ class TelemetryRecorder(ObserverBase):
         self._write({"type": "alloc", "label": alloc.label,
                      "base": alloc.base, "bytes": alloc.size,
                      "kind": alloc.kind.value,
+                     "site": getattr(alloc, "site", ""),
                      "t": hooks.platform.clock.now if hooks else 0.0})
 
     def on_free(self, alloc) -> None:  # noqa: D102
@@ -461,6 +531,7 @@ class TelemetryRecorder(ObserverBase):
         paths: dict[str, Path] = {}
         timeline_path = out / "timeline.json"
         timeline_path.write_text(self.timeline.to_json(other_data={
+            "schema_version": SCHEMA_VERSION,
             "workload": self.workload,
             "dropped_events": self.dropped_timeline_events,
         }))

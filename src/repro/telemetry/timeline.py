@@ -116,6 +116,26 @@ class TimelineBuilder:
         self.instant(f"epoch {epoch}", "epoch", ts_s, pid=pid,
                      tid=TRACK_MARKS, scope="p", args=args)
 
+    def flow(self, name: str, cat: str, flow_id: int,
+             start_ts_s: float, start_tid: int,
+             end_ts_s: float, end_tid: int, *, pid: int = 1) -> None:
+        """A flow arrow (``ph: "s"``/``"f"``) connecting two track points.
+
+        Perfetto draws it as an arrow from the slice enclosing the start
+        point to the slice enclosing the end point -- used to connect a
+        triggering kernel to the migration/eviction it caused.  Both
+        endpoints must share ``name``/``cat``/``id`` for the format to
+        bind them.
+        """
+        self._events.append({
+            "name": name, "cat": cat, "ph": "s", "id": flow_id,
+            "ts": _us(start_ts_s), "pid": pid, "tid": start_tid,
+        })
+        self._events.append({
+            "name": name, "cat": cat, "ph": "f", "bp": "e", "id": flow_id,
+            "ts": _us(end_ts_s), "pid": pid, "tid": end_tid,
+        })
+
     # ------------------------------------------------------------------ #
     # output
 

@@ -84,5 +84,6 @@ def make_session(
     tracer = Tracer().attach(runtime) if trace else None
     recorder = telemetry_context.current_recorder()
     if recorder is not None:
-        recorder.attach(runtime, tracer)
+        recorder.attach(runtime, tracer,
+                        track_causes=telemetry_context.causes_requested())
     return Session(platform=plat, runtime=runtime, tracer=tracer)

@@ -1,5 +1,6 @@
-"""Smith-Waterman workload (paper §IV-B): baseline and rotated variants."""
+"""Smith-Waterman workload (paper §IV-B): baseline, advised and rotated."""
 
+from .advised import AdvisedSmithWaterman
 from .rotated import RotatedSmithWaterman
 from .sw import GAP, MATCH, MISMATCH, SmithWaterman, random_strings, sw_reference
 
@@ -8,6 +9,7 @@ __all__ = [
     "MATCH",
     "MISMATCH",
     "SmithWaterman",
+    "AdvisedSmithWaterman",
     "RotatedSmithWaterman",
     "random_strings",
     "sw_reference",

@@ -1,0 +1,34 @@
+"""Shared captured-run fixtures for the causes test suite.
+
+Captures are footprint-only (no numpy backing) so the whole suite stays
+fast; each fixture is session-scoped because a capture is read-only once
+written.
+"""
+
+import pytest
+
+from repro.causes.capture import run_with_causes
+
+
+def _capture(tmp_path_factory, workload, tag):
+    out = tmp_path_factory.mktemp(tag)
+    run_with_causes(workload, "intel-pascal", out, materialize=False)
+    return out
+
+
+@pytest.fixture(scope="session")
+def sw_run(tmp_path_factory):
+    """Baseline Smith-Waterman on plain managed memory."""
+    return _capture(tmp_path_factory, "sw", "why-managed")
+
+
+@pytest.fixture(scope="session")
+def sw_run_again(tmp_path_factory):
+    """A second, independent capture of the identical baseline run."""
+    return _capture(tmp_path_factory, "sw", "why-managed-again")
+
+
+@pytest.fixture(scope="session")
+def sw_advised_run(tmp_path_factory):
+    """Same workload with cudaMemAdviseSetAccessedBy on H and P."""
+    return _capture(tmp_path_factory, "sw-advised", "why-advised")

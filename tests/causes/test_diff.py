@@ -1,0 +1,113 @@
+"""Differential reports: flags, alignment, golden determinism."""
+
+import json
+
+from repro.causes.capture import load_report
+from repro.causes.diff import DIFF_VERSION, METRICS, diff_reports
+
+
+def report(*, cost=10.0, moved=4096, allocs=None):
+    allocs = allocs if allocs is not None else [
+        {"alloc": "H", "events": 2, "pages": 2, "bytes": 8192,
+         "moved": moved, "cost": cost, "alloc_site": "sw.py:89"},
+    ]
+    return {
+        "workload": "sw", "platform": "pcie",
+        "totals": {"events": 2, "pages": 2, "bytes": 8192,
+                   "moved": moved, "cost": cost},
+        "by_alloc": allocs,
+        "by_site": [], "by_category": [],
+        "critical_path": {"cost": cost, "length": 2},
+    }
+
+
+class TestFlags:
+    def test_lower_cost_is_an_improvement(self):
+        diff = diff_reports(report(cost=10.0), report(cost=5.0))
+        assert diff["totals"]["cost"]["flag"] == "improved"
+        assert diff["summary"]["verdict"] == "improvement"
+
+    def test_higher_cost_is_a_regression(self):
+        diff = diff_reports(report(cost=10.0), report(cost=20.0))
+        assert diff["totals"]["cost"]["flag"] == "regressed"
+        assert diff["summary"]["verdict"] == "regression"
+
+    def test_sub_threshold_changes_are_unchanged(self):
+        diff = diff_reports(report(cost=10.0), report(cost=10.2),
+                            threshold=0.05)
+        assert diff["totals"]["cost"]["flag"] == "unchanged"
+        assert diff["summary"]["verdict"] == "neutral"
+        # Tightening the threshold flips the same delta to a regression.
+        diff = diff_reports(report(cost=10.0), report(cost=10.2),
+                            threshold=0.01)
+        assert diff["totals"]["cost"]["flag"] == "regressed"
+
+    def test_delta_and_pct_fields(self):
+        diff = diff_reports(report(moved=4096), report(moved=0))
+        moved = diff["totals"]["moved"]
+        assert moved == {"a": 4096, "b": 0, "delta": -4096, "pct": -100.0,
+                         "flag": "improved"}
+
+    def test_growth_from_zero_has_no_percentage(self):
+        diff = diff_reports(report(moved=0), report(moved=4096))
+        assert diff["totals"]["moved"]["pct"] is None
+        assert diff["totals"]["moved"]["flag"] == "regressed"
+
+
+class TestAlignment:
+    def test_keys_missing_on_one_side_are_kept(self):
+        only_a = report()
+        only_b = report(allocs=[
+            {"alloc": "P", "events": 1, "pages": 1, "bytes": 4096,
+             "moved": 4096, "cost": 1.0, "alloc_site": "sw.py:90"},
+        ])
+        diff = diff_reports(only_a, only_b)
+        by_alloc = {e["alloc"]: e for e in diff["by_alloc"]}
+        assert by_alloc["H"]["in_a"] and not by_alloc["H"]["in_b"]
+        assert by_alloc["H"]["moved"]["b"] == 0
+        assert by_alloc["H"]["moved"]["flag"] == "improved"
+        assert by_alloc["P"]["in_b"] and not by_alloc["P"]["in_a"]
+        assert by_alloc["P"]["moved"]["flag"] == "regressed"
+
+    def test_alloc_sites_are_carried_from_both_sides(self):
+        diff = diff_reports(report(), report())
+        h = diff["by_alloc"][0]
+        assert h["alloc_site_a"] == "sw.py:89"
+        assert h["alloc_site_b"] == "sw.py:89"
+
+    def test_every_metric_is_compared(self):
+        diff = diff_reports(report(), report())
+        assert set(METRICS) <= set(diff["by_alloc"][0])
+        assert set(METRICS) <= set(diff["totals"])
+
+
+class TestGoldenDeterminism:
+    """Satellite: identical runs diff to zero, byte-for-byte stable."""
+
+    def test_independent_captures_of_the_same_run_are_identical(
+            self, sw_run, sw_run_again):
+        assert ((sw_run / "causes.json").read_bytes()
+                == (sw_run_again / "causes.json").read_bytes())
+
+    def test_self_diff_is_all_zero(self, sw_run, sw_run_again):
+        diff = diff_reports(load_report(sw_run), load_report(sw_run_again))
+        assert diff["diff_version"] == DIFF_VERSION
+        for metric in METRICS:
+            assert diff["totals"][metric]["delta"] == 0, metric
+            assert diff["totals"][metric]["flag"] == "unchanged"
+        for table in ("by_alloc", "by_site", "by_category"):
+            for entry in diff[table]:
+                for metric in METRICS:
+                    assert entry[metric]["delta"] == 0, (table, entry)
+        assert diff["critical_path"]["cost"]["delta"] == 0
+        assert diff["summary"] == {"improved_keys": 0, "regressed_keys": 0,
+                                   "verdict": "neutral"}
+
+    def test_diff_serialization_is_byte_stable(self, sw_run, sw_run_again):
+        def render():
+            diff = diff_reports(load_report(sw_run),
+                                load_report(sw_run_again),
+                                label_a="A", label_b="B")
+            return json.dumps(diff, indent=2, sort_keys=False)
+
+        assert render() == render()

@@ -1,0 +1,152 @@
+"""CausalGraph: classification rules, blame rollups, critical path."""
+
+import json
+
+from repro.causes.graph import REPORT_VERSION, CausalGraph, CEvent
+
+
+def cev(id, kind, *, cost=1e-6, pages=1, nbytes=4096, detail="",
+        site="", kernel="", alloc="", parent=-1, time=0.0):
+    return CEvent(id=id, kind=kind, time=time, proc="GPU", pages=pages,
+                  nbytes=nbytes, cost=cost, detail=detail, site=site,
+                  kernel=kernel, api="", alloc=alloc, parent=parent)
+
+
+class TestClassification:
+    def cat(self, *events):
+        graph = CausalGraph(events)
+        return graph.category(events[-1])
+
+    def test_kind_determined_categories(self):
+        assert self.cat(cev(0, "eviction")) == "capacity_pressure"
+        assert self.cat(cev(0, "invalidation")) == "read_mostly_write"
+        assert self.cat(cev(0, "transfer")) == "explicit_transfer"
+        assert self.cat(cev(0, "duplication")) == "read_duplication"
+        assert self.cat(cev(0, "remote_access")) == "remote_access"
+        assert self.cat(cev(0, "populate")) == "setup"
+        assert self.cat(cev(0, "map")) == "setup"
+
+    def test_first_touch_fault(self):
+        assert self.cat(cev(0, "page_fault",
+                            detail="first-touch")) == "first_touch"
+
+    def test_orphan_fault_is_demand_migration(self):
+        assert self.cat(cev(0, "page_fault")) == "demand_migration"
+
+    def test_refault_after_eviction(self):
+        assert self.cat(
+            cev(0, "eviction"),
+            cev(1, "page_fault", parent=0),
+        ) == "oversubscription_refault"
+
+    def test_fault_after_migration_or_invalidation_is_ping_pong(self):
+        assert self.cat(
+            cev(0, "migration"),
+            cev(1, "page_fault", parent=0),
+        ) == "ping_pong"
+        assert self.cat(
+            cev(0, "invalidation"),
+            cev(1, "page_fault", parent=0),
+        ) == "ping_pong"
+
+    def test_prefetch_migration(self):
+        assert self.cat(cev(0, "migration",
+                            detail="prefetch 4 pages")) == "prefetch"
+
+    def test_migration_inherits_the_triggering_faults_category(self):
+        # eviction -> refault -> migration: the migration is still part
+        # of the oversubscription story, not a fresh demand migration.
+        assert self.cat(
+            cev(0, "eviction"),
+            cev(1, "page_fault", parent=0),
+            cev(2, "migration", parent=1),
+        ) == "oversubscription_refault"
+
+    def test_orphan_migration_is_demand_migration(self):
+        assert self.cat(cev(0, "migration")) == "demand_migration"
+
+
+class TestBlame:
+    def test_moved_counts_link_crossing_bytes_only(self):
+        graph = CausalGraph([
+            cev(0, "migration", nbytes=4096),
+            cev(1, "remote_access", nbytes=256),
+            cev(2, "eviction", nbytes=8192),
+            cev(3, "populate", nbytes=4096),
+        ])
+        totals = graph.blame()["totals"]
+        assert totals["bytes"] == 4096 + 256 + 8192 + 4096
+        assert totals["moved"] == 4096 + 8192
+
+    def test_rollup_keys_and_ordering(self):
+        graph = CausalGraph([
+            cev(0, "migration", site="a.py:1", alloc="H", cost=1e-6),
+            cev(1, "migration", site="b.py:2", alloc="P", cost=3e-6),
+            cev(2, "remote_access", site="a.py:1", alloc="H", cost=2e-6,
+                nbytes=256),
+        ])
+        blame = graph.blame()
+        # Cost-descending, key as tiebreak.
+        assert [r["site"] for r in blame["by_site"]] == ["a.py:1", "b.py:2"]
+        assert [r["alloc"] for r in blame["by_alloc"]] == ["H", "P"]
+        h = blame["by_alloc"][0]
+        assert h["events"] == 2
+        assert h["moved"] == 4096
+        assert h["bytes"] == 4096 + 256
+
+    def test_alloc_rows_carry_the_allocating_site(self):
+        graph = CausalGraph([cev(0, "migration", alloc="H")],
+                            alloc_sites={"H": "sw.py:89"})
+        h = graph.blame()["by_alloc"][0]
+        assert h["alloc_site"] == "sw.py:89"
+
+    def test_unattributed_events_land_in_sentinel_buckets(self):
+        blame = CausalGraph([cev(0, "migration")]).blame()
+        assert blame["by_site"][0]["site"] == "<unattributed>"
+        assert blame["by_alloc"][0]["alloc"] == "<anonymous>"
+
+
+class TestCriticalPath:
+    def test_picks_the_longest_cost_chain(self):
+        # Chain 0->1->2 costs 6; lone event 3 costs 5.
+        graph = CausalGraph([
+            cev(0, "page_fault", cost=1e-6),
+            cev(1, "migration", cost=2e-6, parent=0),
+            cev(2, "page_fault", cost=3e-6, parent=1),
+            cev(3, "transfer", cost=5e-6),
+        ])
+        path = graph.critical_path()
+        assert [n["id"] for n in path["events"]] == [0, 1, 2]
+        assert path["cost"] == round(6e-6, 9)
+        assert path["length"] == 3
+        assert path["truncated"] == 0
+
+    def test_truncation_keeps_the_expensive_tail(self):
+        events = [cev(0, "page_fault", cost=1e-6)]
+        events += [cev(i, "migration", cost=1e-6, parent=i - 1)
+                   for i in range(1, 10)]
+        path = CausalGraph(events).critical_path(max_nodes=4)
+        assert path["truncated"] == 6
+        assert path["length"] == 10
+        assert [n["id"] for n in path["events"]] == [6, 7, 8, 9]
+
+    def test_empty_graph(self):
+        path = CausalGraph([]).critical_path()
+        assert path == {"cost": 0.0, "length": 0, "truncated": 0,
+                        "events": []}
+
+
+class TestReport:
+    def test_report_shape_and_determinism(self):
+        events = [
+            cev(0, "page_fault", site="a.py:1", alloc="H"),
+            cev(1, "migration", parent=0, site="a.py:1", alloc="H"),
+        ]
+        a = CausalGraph(events, {"H": "sw.py:89"}).report(
+            workload="sw", platform="pcie")
+        b = CausalGraph(events, {"H": "sw.py:89"}).report(
+            workload="sw", platform="pcie")
+        assert a["type"] == "causes_report"
+        assert a["report_version"] == REPORT_VERSION
+        assert a["workload"] == "sw"
+        assert json.dumps(a) == json.dumps(b)

@@ -67,7 +67,7 @@ class TestDriverEventEncoding:
                    nbytes=0, cost=0.001, detail="x")
         rec = encode_driver_event(ev)
         assert rec == {
-            "type": "driver_event", "kind": "page_fault", "t": 0.5,
+            "type": "driver_event", "id": -1, "kind": "page_fault", "t": 0.5,
             "proc": "GPU", "pages": 4, "bytes": 0, "cost": 0.001,
             "detail": "x",
         }
