@@ -2,8 +2,11 @@
 
 Cause links piggyback on events the driver already records, so their
 marginal cost over plain tracing must stay small -- the acceptance bar
-is < 2x over the ``traced`` configuration even with per-API source-site
-stack walks (the expensive half; ``--no-sites`` captures skip it).
+is < 2.5x over the ``traced`` configuration even with per-API source-
+site stack walks (the expensive half; ``--no-sites`` captures skip it).
+The bar was 2x before the PR-5 fast paths; those sped up the *traced*
+denominator while the stack walks' absolute cost is unchanged, so the
+same provenance work now reads as a larger relative ratio.
 
 Recorded ratios are floored at 1.0 before entering the baseline: a
 measured ratio below 1.0 means "within noise of free", and committing a
@@ -22,7 +25,7 @@ def test_causal_recording_under_2x_of_traced(once, bench_record):
                      causes_x=round(max(r["causes_x"], 1.0), 3),
                      causes_no_sites_x=round(
                          max(r["causes_no_sites_x"], 1.0), 3))
-        assert r["causes_x"] < 2.0
+        assert r["causes_x"] < 2.5
         # Skipping the stack walk must never cost materially more than
         # doing it (generous margin: both ratios sit near 1x and jitter).
         assert r["causes_no_sites_x"] <= r["causes_x"] * 1.25

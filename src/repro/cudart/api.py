@@ -41,7 +41,7 @@ from .advice import cudaMemcpyKind, cudaMemoryAdvise
 from .errors import CudaError, cudaError_t
 from .kernel import KernelContext, LaunchConfig
 from .memory import ArrayView, DevicePtr
-from .observer import AccessObserver
+from .observer import AccessObserver, overriders
 
 __all__ = ["CudaRuntime"]
 
@@ -68,6 +68,9 @@ class CudaRuntime:
         self._current_kernel = ""
         self._streams: list[Stream] = []
         self.kernel_launches = 0
+        # Precomputed per-callback fan-out (see _rebuild_fanout); publish
+        # sites iterate these instead of calling no-ops on every subscriber.
+        self._rebuild_fanout()
 
     # ------------------------------------------------------------------ #
     # causal blame (only active while the driver has track_causes set)
@@ -118,11 +121,31 @@ class CudaRuntime:
         """
         if observer not in self.observers:
             self.observers.append(observer)
+            self._rebuild_fanout()
 
     def unsubscribe(self, observer: AccessObserver) -> None:
         """Detach a previously attached observer."""
         if observer in self.observers:
             self.observers.remove(observer)
+            self._rebuild_fanout()
+
+    def _rebuild_fanout(self) -> None:
+        """Recompute the live-subscriber tuple for every callback.
+
+        Subscribers that inherit :class:`~.observer.ObserverBase`'s no-op
+        for a callback are dropped from that callback's tuple, so e.g. a
+        tracer without telemetry costs nothing on kernel-complete events.
+        The tuples are immutable snapshots, preserving the re-entrancy
+        guarantee documented on :meth:`subscribe`.
+        """
+        obs = self.observers
+        self._subs_alloc = overriders(obs, "on_alloc")
+        self._subs_free = overriders(obs, "on_free")
+        self._subs_access = overriders(obs, "on_access")
+        self._subs_memcpy = overriders(obs, "on_memcpy")
+        self._subs_kernel_launch = overriders(obs, "on_kernel_launch")
+        self._subs_kernel_complete = overriders(obs, "on_kernel_complete")
+        self._subs_advice = overriders(obs, "on_advice")
 
     # ------------------------------------------------------------------ #
     # allocation API
@@ -156,7 +179,7 @@ class CudaRuntime:
             s = caller_site()
             if s is not None:
                 alloc.site = s.label
-        for obs in tuple(self.observers):
+        for obs in self._subs_alloc:
             obs.on_alloc(alloc)
         return DevicePtr(self, alloc)
 
@@ -169,7 +192,7 @@ class CudaRuntime:
         if ptr.offset != 0:
             raise CudaError(cudaError_t.cudaErrorInvalidDevicePointer,
                             "free of interior pointer")
-        for obs in tuple(self.observers):
+        for obs in self._subs_free:
             obs.on_free(ptr.alloc)
         self.platform.um.unregister(ptr.alloc)
         self.platform.address_space.free(ptr.alloc.base)
@@ -241,7 +264,7 @@ class CudaRuntime:
 
         self._copy_payload(dst, dst_alloc, dst_off, src, src_alloc, src_off, nbytes)
 
-        for obs in tuple(self.observers):
+        for obs in self._subs_memcpy:
             obs.on_memcpy(dst_alloc, dst_off, src_alloc, src_off, nbytes, kind)
         return cudaError_t.cudaSuccess
 
@@ -262,7 +285,7 @@ class CudaRuntime:
             self.platform.clock.advance(self.platform.link.latency + nbytes / _HOST_COPY_BW)
         if alloc.materialized:
             alloc.data[off:off + nbytes] = value
-        for obs in tuple(self.observers):
+        for obs in self._subs_memcpy:
             obs.on_memcpy(alloc, off, None, 0, nbytes,
                           cudaMemcpyKind.cudaMemcpyHostToDevice
                           if alloc.kind is MemoryKind.DEVICE
@@ -302,7 +325,7 @@ class CudaRuntime:
             um.set_accessed_by(alloc, lo, hi, processor_from_device_id(device_id), False)
         else:  # pragma: no cover - enum is closed
             raise CudaError(cudaError_t.cudaErrorInvalidValue, str(advice))
-        for obs in tuple(self.observers):
+        for obs in self._subs_advice:
             obs.on_advice(alloc, advice, ptr.offset, nbytes, device_id)
         return cudaError_t.cudaSuccess
 
@@ -346,7 +369,7 @@ class CudaRuntime:
         config = LaunchConfig(grid, block)
         kname = name or getattr(kernel, "__name__", "kernel")
         self.kernel_launches += 1
-        for obs in tuple(self.observers):
+        for obs in self._subs_kernel_launch:
             obs.on_kernel_launch(kname, grid, block)
 
         ctx = KernelContext(self, config, kname)
@@ -369,7 +392,7 @@ class CudaRuntime:
             self.platform.clock.advance(duration)
         else:
             stream.enqueue(duration)
-        for obs in tuple(self.observers):
+        for obs in self._subs_kernel_complete:
             obs.on_kernel_complete(kname, grid, block, duration)
 
     def device_synchronize(self) -> cudaError_t:
@@ -460,7 +483,7 @@ class CudaRuntime:
 
         # A read-modify-write is published once with is_rmw=True; observers
         # are responsible for both legs (read of the old value, then write).
-        for obs in tuple(self.observers):
+        for obs in self._subs_access:
             obs.on_access(proc, alloc, byte_offset, elem_size, count,
                           is_write, indices, is_rmw)
 

@@ -69,7 +69,7 @@ class ArrayView:
     values -- workloads test ``view.functional`` or the return value.
     """
 
-    __slots__ = ("runtime", "alloc", "byte_offset", "dtype", "length")
+    __slots__ = ("runtime", "alloc", "byte_offset", "dtype", "length", "_raw")
 
     def __init__(self, runtime: "CudaRuntime", alloc: Allocation,
                  byte_offset: int, dtype: np.dtype, length: int) -> None:
@@ -78,6 +78,7 @@ class ArrayView:
         self.byte_offset = byte_offset
         self.dtype = np.dtype(dtype)
         self.length = length
+        self._raw: np.ndarray | None = None
 
     def __len__(self) -> int:
         return self.length
@@ -113,8 +114,18 @@ class ArrayView:
 
     @property
     def raw(self) -> np.ndarray:
-        """Direct numpy view, bypassing tracing and the UM driver."""
-        return self.alloc.view(self.dtype, offset=self.byte_offset, count=self.length)
+        """Direct numpy view, bypassing tracing and the UM driver.
+
+        Built once per view: the backing buffer never moves, so the slice +
+        ``.view`` dance (which dominated traced read/write cost) only runs
+        on first use.  A freed allocation drops its buffer, so the cache is
+        bypassed then and ``Allocation.view`` raises as before.
+        """
+        raw = self._raw
+        if raw is None or self.alloc.data is None:
+            raw = self._raw = self.alloc.view(
+                self.dtype, offset=self.byte_offset, count=self.length)
+        return raw
 
     # ------------------------------------------------------------------ #
     # traced access

@@ -20,7 +20,29 @@ from ..memsim import Allocation, Processor
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .advice import cudaMemcpyKind, cudaMemoryAdvise
 
-__all__ = ["AccessObserver", "ObserverBase"]
+__all__ = ["AccessObserver", "ObserverBase", "CALLBACK_NAMES", "overriders"]
+
+#: Every callback the runtime publishes (one fan-out list is kept per name).
+CALLBACK_NAMES = (
+    "on_alloc", "on_free", "on_access", "on_memcpy",
+    "on_kernel_launch", "on_kernel_complete", "on_advice",
+)
+
+
+def overriders(observers, name: str) -> tuple:
+    """Observers that actually implement callback ``name``.
+
+    An observer inheriting :class:`ObserverBase`'s no-op (and not shadowing
+    it on the instance) can be skipped entirely, so the runtime's publish
+    sites iterate precomputed per-callback tuples instead of calling a
+    no-op per subscriber per access -- disabled telemetry costs nothing.
+    """
+    base = getattr(ObserverBase, name)
+    return tuple(
+        o for o in observers
+        if name in getattr(o, "__dict__", ())
+        or getattr(type(o), name, base) is not base
+    )
 
 
 @runtime_checkable

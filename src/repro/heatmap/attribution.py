@@ -42,10 +42,26 @@ def _shorten(path: str) -> str:
     return "/".join(parts[-2:]) if len(parts) > 1 else path
 
 
+#: Per-code-object "belongs to a skipped module" memo.  A workload loop
+#: walks the same frames millions of times; the module-name prefix test
+#: only needs to run once per code object.  Only populated for the default
+#: skip list (custom lists fall back to the direct test).
+_SKIP_CACHE: dict = {}
+
+#: (code, line) -> SourceSite memo; sites repeat for every access a given
+#: source line makes, so construction and path shortening run once.
+_SITE_CACHE: dict = {}
+
+
 def site_from_frame(frame: FrameType) -> SourceSite:
     """A :class:`SourceSite` naming ``frame``'s current line."""
     code = frame.f_code
-    return SourceSite(_shorten(code.co_filename), frame.f_lineno, code.co_name)
+    key = (code, frame.f_lineno)
+    site = _SITE_CACHE.get(key)
+    if site is None:
+        site = _SITE_CACHE[key] = SourceSite(
+            _shorten(code.co_filename), frame.f_lineno, code.co_name)
+    return site
 
 
 def caller_site(skip: tuple[str, ...] = SKIP_MODULES,
@@ -57,11 +73,19 @@ def caller_site(skip: tuple[str, ...] = SKIP_MODULES,
     itself).
     """
     frame: FrameType | None = sys._getframe(1)
+    cache = _SKIP_CACHE if skip is SKIP_MODULES else None
     for _ in range(max_depth):
         if frame is None:
             return None
-        mod = frame.f_globals.get("__name__", "")
-        if not mod.startswith(skip):
+        if cache is not None:
+            skipped = cache.get(frame.f_code)
+            if skipped is None:
+                mod = frame.f_globals.get("__name__", "")
+                skipped = cache[frame.f_code] = mod.startswith(skip)
+        else:
+            mod = frame.f_globals.get("__name__", "")
+            skipped = mod.startswith(skip)
+        if not skipped:
             return site_from_frame(frame)
         frame = frame.f_back
     return None

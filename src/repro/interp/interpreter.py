@@ -30,12 +30,15 @@ from ..instrument.typesys import Array, CType, Pointer, Primitive, StructType
 from ..memsim import MemoryKind, Platform, intel_pascal
 from ..runtime import Tracer, XplAllocData, trace_print
 from .values import (
+    _PRIM_DTYPES,
+    _typed_view,
     BreakSignal,
     ContinueSignal,
     InterpError,
     LValue,
     ReturnSignal,
     load,
+    numpy_dtype,
     store,
 )
 
@@ -71,8 +74,9 @@ class _Env:
     def lookup(self, name: str) -> LValue | None:
         env: _Env | None = self
         while env is not None:
-            if name in env.cells:
-                return env.cells[name]
+            lv = env.cells.get(name)
+            if lv is not None:
+                return lv
             env = env.parent
         return None
 
@@ -100,11 +104,19 @@ class Interpreter:
         # mini-CUDA pipeline only the instrumented calls trace, exactly as
         # in the paper's compiled workflow.  It is *bound* for processor
         # context so device-side traces classify as GPU accesses.
+        self._space = self.platform.address_space
         self.tracer = (tracer or Tracer()).bind(self.runtime)
+        #: Bound trace methods by wrapper name (one getattr per program,
+        #: not one per instrumented access).
+        self._trace_fns = {n: getattr(self.tracer, n) for n in _TRACE_NAMES}
         self.out = out or io.StringIO()
         self.functions = {f.name: f for f in unit.functions()}
         self.globals = _Env()
         self._thread: dict[str, int] = {}
+        #: Size-keyed pool of recycled stack cells plus the stack of
+        #: per-call frames feeding it (see :meth:`_alloc_local`).
+        self._cell_pool: dict[int, list] = {}
+        self._frames: list[list] = []
         self._init_globals()
 
     # ------------------------------------------------------------------ #
@@ -118,7 +130,7 @@ class Interpreter:
                     self.globals.declare(d.name, lv)
                     if d.init is not None:
                         value, _ = self.eval(d.init, self.globals)
-                        store(self.platform.address_space, lv, value)
+                        store(self._space, lv, value)
 
     def run(self, entry: str = "main", args: list[Any] | None = None) -> Any:
         """Execute ``entry``; returns its return value."""
@@ -138,24 +150,59 @@ class Interpreter:
         fn = self.functions.get(name)
         if fn is None or fn.body is None:
             return self._call_builtin(name, args, raw_args=None, env=None)
+        return self._invoke(fn, args)
+
+    def _invoke(self, fn: A.FunctionDef, args: list[Any]) -> Any:
+        """Call an already-resolved function (kernel loops skip the name
+        lookup this way)."""
         env = self.globals.child()
         if len(args) != len(fn.params):
             raise InterpError(
-                f"{name} expects {len(fn.params)} arguments, got {len(args)}")
-        for param, value in zip(fn.params, args):
-            lv = self._alloc_local(param.name, param.ctype)
-            store(self.platform.address_space, lv, value)
-            env.declare(param.name, lv)
+                f"{fn.name} expects {len(fn.params)} arguments, got {len(args)}")
+        space = self._space
+        frame: list = []
+        self._frames.append(frame)
         try:
-            self.exec_stmt(fn.body, env)
-        except ReturnSignal as r:
-            return r.value
-        return None
+            for param, value in zip(fn.params, args):
+                lv = self._alloc_local(param.name, param.ctype)
+                store(space, lv, value)
+                env.declare(param.name, lv)
+            try:
+                self.exec_stmt(fn.body, env)
+            except ReturnSignal as r:
+                return r.value
+            return None
+        finally:
+            self._frames.pop()
+            pool = self._cell_pool
+            for alloc in frame:
+                pool.setdefault(alloc.size, []).append(alloc)
 
     def _alloc_local(self, name: str, ctype: CType) -> LValue:
+        """A zeroed host cell for one local/param.
+
+        Cells are pooled per size: a kernel runs its body once per simulated
+        thread, and allocating a fresh host block per local per thread both
+        leaks address space and pays a sorted-insert each time.  Cells
+        allocated inside a function frame return to the pool when the frame
+        exits (addresses escaping a returned frame are C undefined
+        behaviour, so reuse is fair game).
+        """
         size = max(1, ctype.size)
-        alloc = self.platform.address_space.allocate(
-            size, MemoryKind.HOST, label=f"stack:{name}")
+        pool = self._cell_pool.get(size)
+        if pool:
+            alloc = pool.pop()
+            alloc.data[:] = 0
+        else:
+            alloc = self._space.allocate(
+                size, MemoryKind.HOST, label=f"stack:{name}")
+        if self._frames:
+            self._frames[-1].append(alloc)
+        if type(ctype) is Pointer or (
+                type(ctype) is Primitive and ctype.name in _PRIM_DTYPES):
+            # Pre-resolve scalar cells: load/store skip the address lookup.
+            return LValue(alloc.base, ctype,
+                          view=_typed_view(alloc, numpy_dtype(ctype)))
         return LValue(alloc.base, ctype)
 
     # ------------------------------------------------------------------ #
@@ -164,211 +211,245 @@ class Interpreter:
     def exec_stmt(self, s: A.Stmt, env: _Env) -> None:
         if s.line:
             self._line = s.line
-        if isinstance(s, A.Block):
-            inner = env.child()
-            for x in s.stmts:
-                self.exec_stmt(x, inner)
-            return
-        if isinstance(s, A.DeclStmt):
-            for d in s.decls:
-                lv = self._alloc_local(d.name, d.ctype)
-                env.declare(d.name, lv)
-                if d.init is not None:
-                    value, _ = self.eval(d.init, env)
-                    if not isinstance(d.ctype, (StructType, Array)):
-                        store(self.platform.address_space, lv, value)
-            return
-        if isinstance(s, A.ExprStmt):
-            self.eval(s.expr, env)
-            return
-        if isinstance(s, A.If):
-            cond, _ = self.eval(s.cond, env)
-            if cond:
-                self.exec_stmt(s.then, env)
-            elif s.other is not None:
-                self.exec_stmt(s.other, env)
-            return
-        if isinstance(s, A.While):
-            while self.eval(s.cond, env)[0]:
-                try:
-                    self.exec_stmt(s.body, env)
-                except BreakSignal:
-                    break
-                except ContinueSignal:
-                    continue
-            return
-        if isinstance(s, A.DoWhile):
-            while True:
-                try:
-                    self.exec_stmt(s.body, env)
-                except BreakSignal:
-                    break
-                except ContinueSignal:
-                    pass
-                if not self.eval(s.cond, env)[0]:
-                    break
-            return
-        if isinstance(s, A.For):
-            inner = env.child()
-            if s.init is not None:
-                self.exec_stmt(s.init, inner)
-            while s.cond is None or self.eval(s.cond, inner)[0]:
-                try:
-                    self.exec_stmt(s.body, inner)
-                except BreakSignal:
-                    break
-                except ContinueSignal:
-                    pass
-                if s.step is not None:
-                    self.eval(s.step, inner)
-            return
-        if isinstance(s, A.Return):
-            value = self.eval(s.value, env)[0] if s.value is not None else None
-            raise ReturnSignal(value)
-        if isinstance(s, A.Break):
-            raise BreakSignal()
-        if isinstance(s, A.Continue):
-            raise ContinueSignal()
-        if isinstance(s, (A.Pragma, A.Directive)):
-            return  # passed through; no runtime effect
-        raise InterpError(f"cannot execute {type(s).__name__}")
+        handler = _EXEC.get(s.__class__)
+        if handler is None:
+            handler = _mro_fallback(_EXEC, s.__class__)
+            if handler is None:
+                raise InterpError(f"cannot execute {type(s).__name__}")
+        handler(self, s, env)
+
+    def _exec_block(self, s: A.Block, env: _Env) -> None:
+        inner = env.child()
+        for x in s.stmts:
+            self.exec_stmt(x, inner)
+
+    def _exec_decl(self, s: A.DeclStmt, env: _Env) -> None:
+        for d in s.decls:
+            lv = self._alloc_local(d.name, d.ctype)
+            env.declare(d.name, lv)
+            if d.init is not None:
+                value, _ = self.eval(d.init, env)
+                if not isinstance(d.ctype, (StructType, Array)):
+                    store(self._space, lv, value)
+
+    def _exec_expr(self, s: A.ExprStmt, env: _Env) -> None:
+        self.eval(s.expr, env)
+
+    def _exec_if(self, s: A.If, env: _Env) -> None:
+        cond, _ = self.eval(s.cond, env)
+        if cond:
+            self.exec_stmt(s.then, env)
+        elif s.other is not None:
+            self.exec_stmt(s.other, env)
+
+    def _exec_while(self, s: A.While, env: _Env) -> None:
+        while self.eval(s.cond, env)[0]:
+            try:
+                self.exec_stmt(s.body, env)
+            except BreakSignal:
+                break
+            except ContinueSignal:
+                continue
+
+    def _exec_do_while(self, s: A.DoWhile, env: _Env) -> None:
+        while True:
+            try:
+                self.exec_stmt(s.body, env)
+            except BreakSignal:
+                break
+            except ContinueSignal:
+                pass
+            if not self.eval(s.cond, env)[0]:
+                break
+
+    def _exec_for(self, s: A.For, env: _Env) -> None:
+        inner = env.child()
+        if s.init is not None:
+            self.exec_stmt(s.init, inner)
+        while s.cond is None or self.eval(s.cond, inner)[0]:
+            try:
+                self.exec_stmt(s.body, inner)
+            except BreakSignal:
+                break
+            except ContinueSignal:
+                pass
+            if s.step is not None:
+                self.eval(s.step, inner)
+
+    def _exec_return(self, s: A.Return, env: _Env) -> None:
+        value = self.eval(s.value, env)[0] if s.value is not None else None
+        raise ReturnSignal(value)
+
+    def _exec_break(self, s: A.Break, env: _Env) -> None:
+        raise BreakSignal()
+
+    def _exec_continue(self, s: A.Continue, env: _Env) -> None:
+        raise ContinueSignal()
+
+    def _exec_nop(self, s: A.Stmt, env: _Env) -> None:
+        pass  # pragmas/directives pass through; no runtime effect
 
     # ------------------------------------------------------------------ #
     # expressions
 
     def eval(self, e: A.Expr, env: _Env) -> tuple[Any, CType | None]:
-        space = self.platform.address_space
-        if isinstance(e, A.IntLit):
-            return e.value, None
-        if isinstance(e, A.FloatLit):
-            return e.value, None
-        if isinstance(e, A.BoolLit):
-            return int(e.value), None
-        if isinstance(e, A.NullLit):
-            return 0, None
-        if isinstance(e, A.CharLit):
-            body = e.text[1:-1].encode().decode("unicode_escape")
-            return ord(body), None
-        if isinstance(e, A.StringLit):
-            return e.text[1:-1], None
-        if isinstance(e, A.Raw):
-            return e.text, None
-        if isinstance(e, A.Ident):
-            special = self._thread_builtin(e.name)
-            if special is not None:
-                return special, None
-            lv = env.lookup(e.name)
-            if lv is None:
-                if e.name in self.functions:
-                    return self.functions[e.name], None
-                raise InterpError(f"undefined identifier {e.name!r}")
-            if isinstance(lv.ctype, Array):
-                return lv.addr, Pointer(lv.ctype.element)  # decay
-            if isinstance(lv.ctype, StructType):
-                return lv.addr, lv.ctype  # struct value = its address here
-            return load(space, lv), lv.ctype
-        if isinstance(e, A.Member) and isinstance(e.base, A.Ident) \
-                and not e.arrow and e.base.name in (
-                    "threadIdx", "blockIdx", "blockDim", "gridDim"):
+        handler = _EVAL.get(e.__class__)
+        if handler is None:
+            handler = _mro_fallback(_EVAL, e.__class__)
+            if handler is None:
+                raise InterpError(f"cannot evaluate {type(e).__name__}")
+        return handler(self, e, env)
+
+    def _eval_int_lit(self, e: A.IntLit, env: _Env):
+        return e.value, None
+
+    def _eval_float_lit(self, e: A.FloatLit, env: _Env):
+        return e.value, None
+
+    def _eval_bool_lit(self, e: A.BoolLit, env: _Env):
+        return int(e.value), None
+
+    def _eval_null_lit(self, e: A.NullLit, env: _Env):
+        return 0, None
+
+    def _eval_char_lit(self, e: A.CharLit, env: _Env):
+        body = e.text[1:-1].encode().decode("unicode_escape")
+        return ord(body), None
+
+    def _eval_string_lit(self, e: A.StringLit, env: _Env):
+        return e.text[1:-1], None
+
+    def _eval_raw(self, e: A.Raw, env: _Env):
+        return e.text, None
+
+    def _eval_ident(self, e: A.Ident, env: _Env):
+        special = self._thread.get(e.name)
+        if special is not None:
+            return special, None
+        lv = env.lookup(e.name)
+        if lv is None:
+            if e.name in self.functions:
+                return self.functions[e.name], None
+            raise InterpError(f"undefined identifier {e.name!r}")
+        ctype = lv.ctype
+        if type(ctype) is Array:
+            return lv.addr, Pointer(ctype.element)  # decay
+        if type(ctype) is StructType:
+            return lv.addr, ctype  # struct value = its address here
+        return load(self._space, lv), ctype
+
+    def _eval_member(self, e: A.Member, env: _Env):
+        if not e.arrow and isinstance(e.base, A.Ident) and e.base.name in (
+                "threadIdx", "blockIdx", "blockDim", "gridDim"):
             value = self._thread_builtin(f"{e.base.name}_{e.name}")
             if value is None:
                 raise InterpError(f"{e.base.name}.{e.name} used outside a kernel")
             return value, None
-        if isinstance(e, A.Unary):
-            return self._eval_unary(e, env)
-        if isinstance(e, A.Binary):
-            return self._eval_binary(e, env)
-        if isinstance(e, A.Assign):
-            return self._eval_assign(e, env)
-        if isinstance(e, A.Ternary):
-            cond, _ = self.eval(e.cond, env)
-            return self.eval(e.then if cond else e.other, env)
-        if isinstance(e, A.Call):
-            return self._eval_call(e, env)
-        if isinstance(e, (A.Member, A.Index)):
-            lv = self.lvalue(e, env)
-            if isinstance(lv.ctype, (StructType, Array)):
-                return lv.addr, lv.ctype
-            return load(space, lv), lv.ctype
-        if isinstance(e, A.Cast):
-            value, _ = self.eval(e.operand, env)
-            if isinstance(e.ctype, Pointer):
-                return int(value), e.ctype
-            if isinstance(e.ctype, Primitive) and not e.ctype.is_float:
-                return int(value), e.ctype
-            return float(value), e.ctype
-        if isinstance(e, A.SizeofType):
-            return e.ctype.size, None
-        if isinstance(e, A.SizeofExpr):
-            _, ctype = self._type_of(e.operand, env)
-            if ctype is None:
-                raise InterpError("cannot compute sizeof of untyped expression")
-            return ctype.size, None
-        if isinstance(e, A.KernelLaunch):
-            self._launch(e, env)
-            return None, None
-        if isinstance(e, A.NewExpr):
-            return self._eval_new(e, env)
-        raise InterpError(f"cannot evaluate {type(e).__name__}")
+        return self._eval_place(e, env)
+
+    def _eval_place(self, e: A.Expr, env: _Env):
+        lv = self.lvalue(e, env)
+        if isinstance(lv.ctype, (StructType, Array)):
+            return lv.addr, lv.ctype
+        return load(self._space, lv), lv.ctype
+
+    def _eval_ternary(self, e: A.Ternary, env: _Env):
+        cond, _ = self.eval(e.cond, env)
+        return self.eval(e.then if cond else e.other, env)
+
+    def _eval_cast(self, e: A.Cast, env: _Env):
+        value, _ = self.eval(e.operand, env)
+        if isinstance(e.ctype, Pointer):
+            return int(value), e.ctype
+        if isinstance(e.ctype, Primitive) and not e.ctype.is_float:
+            return int(value), e.ctype
+        return float(value), e.ctype
+
+    def _eval_sizeof_type(self, e: A.SizeofType, env: _Env):
+        return e.ctype.size, None
+
+    def _eval_sizeof_expr(self, e: A.SizeofExpr, env: _Env):
+        _, ctype = self._type_of(e.operand, env)
+        if ctype is None:
+            raise InterpError("cannot compute sizeof of untyped expression")
+        return ctype.size, None
+
+    def _eval_kernel_launch(self, e: A.KernelLaunch, env: _Env):
+        self._launch(e, env)
+        return None, None
 
     # -- lvalues -------------------------------------------------------- #
 
     def lvalue(self, e: A.Expr, env: _Env) -> LValue:
         """Resolve an expression to a typed memory location."""
-        if isinstance(e, A.Ident):
-            lv = env.lookup(e.name)
-            if lv is None:
-                raise InterpError(f"undefined identifier {e.name!r}")
-            return lv
-        if isinstance(e, A.Unary) and e.op == "*":
-            addr, ctype = self.eval(e.operand, env)
-            target = ctype.target if isinstance(ctype, Pointer) else None
-            if target is None:
-                raise InterpError("dereference of non-pointer value")
-            return LValue(int(addr), target)
-        if isinstance(e, A.Index):
+        handler = _LVALUE.get(e.__class__)
+        if handler is None:
+            handler = _mro_fallback(_LVALUE, e.__class__)
+            if handler is None:
+                raise InterpError(f"not an l-value: {type(e).__name__}")
+        return handler(self, e, env)
+
+    def _lvalue_ident(self, e: A.Ident, env: _Env) -> LValue:
+        lv = env.lookup(e.name)
+        if lv is None:
+            raise InterpError(f"undefined identifier {e.name!r}")
+        return lv
+
+    def _lvalue_unary(self, e: A.Unary, env: _Env) -> LValue:
+        if e.op != "*":
+            raise InterpError(f"not an l-value: {type(e).__name__}")
+        addr, ctype = self.eval(e.operand, env)
+        target = ctype.target if isinstance(ctype, Pointer) else None
+        if target is None:
+            raise InterpError("dereference of non-pointer value")
+        return LValue(int(addr), target)
+
+    def _lvalue_index(self, e: A.Index, env: _Env) -> LValue:
+        base, ctype = self.eval(e.base, env)
+        idx, _ = self.eval(e.index, env)
+        if not isinstance(ctype, Pointer):
+            raise InterpError("indexing a non-pointer value")
+        return LValue(int(base) + int(idx) * ctype.target.size, ctype.target)
+
+    def _lvalue_member(self, e: A.Member, env: _Env) -> LValue:
+        if e.arrow:
             base, ctype = self.eval(e.base, env)
-            idx, _ = self.eval(e.index, env)
-            if not isinstance(ctype, Pointer):
-                raise InterpError("indexing a non-pointer value")
-            return LValue(int(base) + int(idx) * ctype.target.size, ctype.target)
-        if isinstance(e, A.Member):
-            if e.arrow:
-                base, ctype = self.eval(e.base, env)
-                if not isinstance(ctype, Pointer) or \
-                        not isinstance(ctype.target, StructType):
-                    raise InterpError("'->' on a non-struct-pointer value")
-                struct = ctype.target
-                base_addr = int(base)
-            else:
-                base_lv = self.lvalue(e.base, env)
-                if not isinstance(base_lv.ctype, StructType):
-                    raise InterpError("'.' on a non-struct value")
-                struct = base_lv.ctype
-                base_addr = base_lv.addr
-            f = struct.field_named(e.name)
-            return LValue(base_addr + f.offset, f.type)
-        if isinstance(e, A.Call) and isinstance(e.callee, A.Ident) \
-                and e.callee.name in _TRACE_NAMES:
+            if not isinstance(ctype, Pointer) or \
+                    not isinstance(ctype.target, StructType):
+                raise InterpError("'->' on a non-struct-pointer value")
+            struct = ctype.target
+            base_addr = int(base)
+        else:
+            base_lv = self.lvalue(e.base, env)
+            if not isinstance(base_lv.ctype, StructType):
+                raise InterpError("'.' on a non-struct value")
+            struct = base_lv.ctype
+            base_addr = base_lv.addr
+        f = struct.field_named(e.name)
+        return LValue(base_addr + f.offset, f.type)
+
+    def _lvalue_call(self, e: A.Call, env: _Env) -> LValue:
+        if isinstance(e.callee, A.Ident) and e.callee.name in _TRACE_NAMES:
             return self._trace_lvalue(e.callee.name, e.args[0], env)
-        if isinstance(e, A.Cast):
-            return self.lvalue(e.operand, env)
         raise InterpError(f"not an l-value: {type(e).__name__}")
+
+    def _lvalue_cast(self, e: A.Cast, env: _Env) -> LValue:
+        return self.lvalue(e.operand, env)
 
     def _trace_lvalue(self, fn: str, inner: A.Expr, env: _Env) -> LValue:
         lv = self.lvalue(inner, env)
         size = max(1, lv.ctype.size)
+        trace = self._trace_fns[fn]
         if self.tracer.heat is not None:
-            getattr(self.tracer, fn)(
-                lv.addr, size, site=SourceSite(self.source_name, self._line))
+            trace(lv.addr, size, site=SourceSite(self.source_name, self._line))
         else:
-            getattr(self.tracer, fn)(lv.addr, size)
+            trace(lv.addr, size)
         return lv
 
     # -- operators ------------------------------------------------------ #
 
     def _eval_unary(self, e: A.Unary, env: _Env) -> tuple[Any, CType | None]:
-        space = self.platform.address_space
+        space = self._space
         if e.op == "&":
             lv = self.lvalue(e.operand, env)
             return lv.addr, Pointer(lv.ctype)
@@ -424,24 +505,13 @@ class Interpreter:
             return right + left * rt.target.size, rt
         if isinstance(lt, Pointer) and isinstance(rt, Pointer) and e.op == "-":
             return (left - right) // lt.target.size, None
-        ops = {
-            "+": lambda a, b: a + b, "-": lambda a, b: a - b,
-            "*": lambda a, b: a * b,
-            "/": lambda a, b: _cdiv(a, b),
-            "%": lambda a, b: _cmod(a, b),
-            "==": lambda a, b: int(a == b), "!=": lambda a, b: int(a != b),
-            "<": lambda a, b: int(a < b), ">": lambda a, b: int(a > b),
-            "<=": lambda a, b: int(a <= b), ">=": lambda a, b: int(a >= b),
-            "&": lambda a, b: int(a) & int(b), "|": lambda a, b: int(a) | int(b),
-            "^": lambda a, b: int(a) ^ int(b),
-            "<<": lambda a, b: int(a) << int(b), ">>": lambda a, b: int(a) >> int(b),
-        }
-        if e.op not in ops:
+        fn = _BIN_OPS.get(e.op)
+        if fn is None:
             raise InterpError(f"unsupported binary operator {e.op!r}")
-        return ops[e.op](left, right), (lt if isinstance(lt, Pointer) else lt or rt)
+        return fn(left, right), (lt if isinstance(lt, Pointer) else lt or rt)
 
     def _eval_assign(self, e: A.Assign, env: _Env) -> tuple[Any, CType | None]:
-        space = self.platform.address_space
+        space = self._space
         value, _ = self.eval(e.value, env)
         lv = self.lvalue(e.target, env)
         if e.op == "=":
@@ -451,16 +521,7 @@ class Interpreter:
             op = e.op[:-1]
             if isinstance(lv.ctype, Pointer) and op in ("+", "-"):
                 value = value * lv.ctype.target.size
-            new = {
-                "+": lambda: old + value, "-": lambda: old - value,
-                "*": lambda: old * value,
-                "/": lambda: _cdiv(old, value), "%": lambda: _cmod(old, value),
-                "&": lambda: int(old) & int(value),
-                "|": lambda: int(old) | int(value),
-                "^": lambda: int(old) ^ int(value),
-                "<<": lambda: int(old) << int(value),
-                ">>": lambda: int(old) >> int(value),
-            }[op]()
+            new = _BIN_OPS[op](old, value)
         store(space, lv, new)
         return new, lv.ctype
 
@@ -473,7 +534,7 @@ class Interpreter:
         self.tracer.trc_register(ptr.alloc)  # heap memory is traced
         if e.init is not None:
             value, _ = self.eval(e.init, env)
-            store(self.platform.address_space, LValue(ptr.addr, e.ctype), value)
+            store(self._space, LValue(ptr.addr, e.ctype), value)
         return ptr.addr, Pointer(e.ctype)
 
     # -- calls ---------------------------------------------------------- #
@@ -486,13 +547,13 @@ class Interpreter:
             lv = self._trace_lvalue(name, e.args[0], env)
             if isinstance(lv.ctype, (StructType, Array)):
                 return lv.addr, lv.ctype
-            return load(self.platform.address_space, lv), lv.ctype
+            return load(self._space, lv), lv.ctype
         if name == "XplAllocData":
             return self._make_alloc_data(e, env), None
         fn = self.functions.get(name)
         if fn is not None and fn.body is not None:
             args = [self.eval(a, env)[0] for a in e.args]
-            return self.call_function(name, args), fn.return_type
+            return self._invoke(fn, args), fn.return_type
         args = [self.eval(a, env)[0] for a in e.args]
         return self._call_builtin(name, args, raw_args=e.args, env=env), None
 
@@ -500,7 +561,7 @@ class Interpreter:
         addr, _ = self.eval(e.args[0], env)
         name = self.eval(e.args[1], env)[0]
         size = int(self.eval(e.args[2], env)[0])
-        alloc = self.platform.address_space.find(int(addr))
+        alloc = self._space.find(int(addr))
         return XplAllocData(int(addr), str(name), size, alloc)
 
     def _thread_builtin(self, name: str) -> int | None:
@@ -524,16 +585,21 @@ class Interpreter:
     def _run_kernel(self, fn: A.FunctionDef, grid: int, block: int,
                     args: list[Any]) -> None:
         def body(ctx) -> None:
-            for b in range(grid):
-                for t in range(block):
-                    self._thread = {
-                        "blockIdx_x": b, "threadIdx_x": t,
-                        "blockDim_x": block, "gridDim_x": grid,
-                    }
-                    try:
-                        self.call_function(fn.name, list(args))
-                    finally:
-                        self._thread = {}
+            # One dict mutated per simulated thread: the builtins are read
+            # through ``_thread.get`` so identity never leaks.
+            thread = {
+                "blockIdx_x": 0, "threadIdx_x": 0,
+                "blockDim_x": block, "gridDim_x": grid,
+            }
+            self._thread = thread
+            try:
+                for b in range(grid):
+                    thread["blockIdx_x"] = b
+                    for t in range(block):
+                        thread["threadIdx_x"] = t
+                        self._invoke(fn, list(args))
+            finally:
+                self._thread = {}
 
         self.runtime.launch(body, grid, block, name=fn.name,
                             work=grid * block)
@@ -543,7 +609,7 @@ class Interpreter:
     def _call_builtin(self, name: str, args: list[Any],
                       raw_args, env) -> Any:
         rt = self.runtime
-        space = self.platform.address_space
+        space = self._space
 
         if name in ("cudaMallocManaged", "trcMallocManaged"):
             out_ptr, size = int(args[0]), int(args[1])
@@ -623,13 +689,13 @@ class Interpreter:
         return "managed"
 
     def _as_ptr(self, addr: int) -> DevicePtr:
-        alloc = self.platform.address_space.find(addr)
+        alloc = self._space.find(addr)
         if alloc is None:
             raise InterpError(f"memcpy with invalid address {addr:#x}")
         return DevicePtr(self.runtime, alloc, addr - alloc.base)
 
     def _free_addr(self, addr: int, *, trace: bool = False) -> None:
-        alloc = self.platform.address_space.find(addr)
+        alloc = self._space.find(addr)
         if alloc is None or alloc.base != addr:
             raise InterpError(f"free of invalid address {addr:#x}")
         if trace:
@@ -656,6 +722,81 @@ def _cdiv(a, b):
 
 def _cmod(a, b):
     return a - _cdiv(a, b) * b
+
+
+#: Non-short-circuit binary operators (also the compound-assignment cores).
+_BIN_OPS = {
+    "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _cdiv, "%": _cmod,
+    "==": lambda a, b: int(a == b), "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b), ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b), ">=": lambda a, b: int(a >= b),
+    "&": lambda a, b: int(a) & int(b), "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "<<": lambda a, b: int(a) << int(b), ">>": lambda a, b: int(a) >> int(b),
+}
+
+#: Per-node-class dispatch tables.  One dict probe replaces the isinstance
+#: ladder ``exec_stmt``/``eval`` used to walk for every node executed --
+#: the single hottest cost in interpreting a kernel body once per thread.
+_EXEC = {
+    A.Block: Interpreter._exec_block,
+    A.DeclStmt: Interpreter._exec_decl,
+    A.ExprStmt: Interpreter._exec_expr,
+    A.If: Interpreter._exec_if,
+    A.While: Interpreter._exec_while,
+    A.DoWhile: Interpreter._exec_do_while,
+    A.For: Interpreter._exec_for,
+    A.Return: Interpreter._exec_return,
+    A.Break: Interpreter._exec_break,
+    A.Continue: Interpreter._exec_continue,
+    A.Pragma: Interpreter._exec_nop,
+    A.Directive: Interpreter._exec_nop,
+}
+
+_LVALUE = {
+    A.Ident: Interpreter._lvalue_ident,
+    A.Unary: Interpreter._lvalue_unary,
+    A.Index: Interpreter._lvalue_index,
+    A.Member: Interpreter._lvalue_member,
+    A.Call: Interpreter._lvalue_call,
+    A.Cast: Interpreter._lvalue_cast,
+}
+
+_EVAL = {
+    A.IntLit: Interpreter._eval_int_lit,
+    A.FloatLit: Interpreter._eval_float_lit,
+    A.BoolLit: Interpreter._eval_bool_lit,
+    A.NullLit: Interpreter._eval_null_lit,
+    A.CharLit: Interpreter._eval_char_lit,
+    A.StringLit: Interpreter._eval_string_lit,
+    A.Raw: Interpreter._eval_raw,
+    A.Ident: Interpreter._eval_ident,
+    A.Member: Interpreter._eval_member,
+    A.Index: Interpreter._eval_place,
+    A.Unary: Interpreter._eval_unary,
+    A.Binary: Interpreter._eval_binary,
+    A.Assign: Interpreter._eval_assign,
+    A.Ternary: Interpreter._eval_ternary,
+    A.Call: Interpreter._eval_call,
+    A.Cast: Interpreter._eval_cast,
+    A.SizeofType: Interpreter._eval_sizeof_type,
+    A.SizeofExpr: Interpreter._eval_sizeof_expr,
+    A.KernelLaunch: Interpreter._eval_kernel_launch,
+    A.NewExpr: Interpreter._eval_new,
+}
+
+
+def _mro_fallback(table: dict, klass: type):
+    """Resolve a dispatch entry through ``klass``'s bases (subclassed AST
+    nodes dispatch like their parents) and cache the result."""
+    for base in klass.__mro__[1:]:
+        handler = table.get(base)
+        if handler is not None:
+            table[klass] = handler
+            return handler
+    return None
 
 
 def run_program(source: str, *, instrumented: bool = True,

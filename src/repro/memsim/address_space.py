@@ -132,6 +132,8 @@ class AddressSpace:
         self._allocs: list[Allocation] = []   # parallel to _bases
         self._serial = itertools.count(1)
         self.all_allocations: list[Allocation] = []  # includes freed, in order
+        self._hit: Allocation | None = None   # last find() result (hot loops
+        #                                       resolve the same block)
 
     def __len__(self) -> int:
         return len(self._allocs)
@@ -187,6 +189,8 @@ class AddressSpace:
         self._bases.pop(idx)
         alloc.freed = True
         alloc.data = None
+        if self._hit is alloc:
+            self._hit = None
         return alloc
 
     def find(self, addr: int) -> Allocation | None:
@@ -195,11 +199,17 @@ class AddressSpace:
         Untracked addresses are not an error: XPlacer ignores accesses to
         memory it has not seen allocated.
         """
+        hit = self._hit
+        if hit is not None and hit.base <= addr < hit.base + hit.size:
+            return hit
         idx = bisect.bisect_right(self._bases, addr) - 1
         if idx < 0:
             return None
         alloc = self._allocs[idx]
-        return alloc if alloc.contains(addr) else None
+        if alloc.base <= addr < alloc.base + alloc.size:
+            self._hit = alloc
+            return alloc
+        return None
 
     def live_allocations(self) -> list[Allocation]:
         """All live allocations in address order."""

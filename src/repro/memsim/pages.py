@@ -41,6 +41,11 @@ class PageState:
       or eviction) that last removed page ``i`` from a processor, or -1.
       Lets a later re-fault name the event that made it necessary; only
       maintained when the driver runs with ``track_causes``.
+
+    The ``gen`` counter stamps every mutation of residency or policy state
+    (see :meth:`touch`); the driver caches a generation-stamped residency
+    summary per allocation so steady-state accesses (every page already
+    resident locally) skip the full mask classification entirely.
     """
 
     npages: int
@@ -51,6 +56,8 @@ class PageState:
     accessed_by: np.ndarray = field(init=False)
     last_use: np.ndarray = field(init=False)
     displaced_by: np.ndarray = field(init=False)
+    #: Mutation stamp: bumped on every residency/advice change.
+    gen: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.npages <= 0:
@@ -63,6 +70,39 @@ class PageState:
         self.accessed_by = np.zeros((2, n), dtype=bool)
         self.last_use = np.zeros(n, dtype=np.int64)
         self.displaced_by = np.full(n, -1, dtype=np.int64)
+        #: Lazily built ``np.arange(npages)`` the driver slices per access
+        #: instead of allocating a fresh index array every call.
+        self._page_index: np.ndarray | None = None
+        #: Generation-stamped residency summary
+        #: ``(gen, cpu_full, gpu_full, cpu_any, gpu_any)`` or ``None``.
+        self._summary: tuple[int, bool, bool, bool, bool] | None = None
+
+    def touch(self) -> None:
+        """Invalidate cached residency summaries after a state mutation."""
+        self.gen += 1
+
+    @property
+    def page_index(self) -> np.ndarray:
+        """Cached full-span page-index array (``np.arange(npages)``)."""
+        idx = self._page_index
+        if idx is None:
+            idx = self._page_index = np.arange(self.npages)
+        return idx
+
+    def residency_summary(self) -> tuple[int, bool, bool, bool, bool]:
+        """``(gen, cpu_full, gpu_full, cpu_any, gpu_any)`` for this state.
+
+        ``*_full`` means every page has a valid copy on that processor;
+        ``*_any`` means at least one page does.  Recomputed only when
+        ``gen`` moved since the last call.
+        """
+        s = self._summary
+        if s is None or s[0] != self.gen:
+            cpu, gpu = self.present[0], self.present[1]
+            s = (self.gen, bool(cpu.all()), bool(gpu.all()),
+                 bool(cpu.any()), bool(gpu.any()))
+            self._summary = s
+        return s
 
     def populated(self) -> np.ndarray:
         """Mask of pages that have been touched at least once."""

@@ -131,6 +131,12 @@ class AccessOutcome:
     evicted_pages: int = 0
 
 
+#: Shared zero-cost outcome returned by the resident fast path.  Callers
+#: only ever read outcome fields, so one immutable-by-convention instance
+#: avoids constructing a dataclass per steady-state access.
+_ZERO_OUTCOME = AccessOutcome()
+
+
 class UnifiedMemoryDriver:
     """Page-granular unified-memory state machine with a timing model."""
 
@@ -147,6 +153,14 @@ class UnifiedMemoryDriver:
         self.clock = clock
         self.log = log
         self.params = params or UMCostParams()
+        #: Resident fast path: when every page of an allocation already has
+        #: a valid local copy (and, for writes, no stale remote copy), the
+        #: access is a plain hit and skips mask classification entirely.
+        #: The gate is a generation-stamped residency summary per
+        #: allocation (see :meth:`PageState.residency_summary`), so the
+        #: check costs one dict hit and a tuple compare.  Disable to force
+        #: the full state machine (differential testing).
+        self.fast_path = True
         #: Optional telemetry tap (see :data:`MetricsHook`); ``None`` keeps
         #: the access path free of any telemetry cost.
         self.metrics_hook: MetricsHook | None = None
@@ -225,6 +239,7 @@ class UnifiedMemoryDriver:
         """Apply or revert ``cudaMemAdviseSetReadMostly`` to pages [lo, hi)."""
         st = self.state_of(alloc)
         st.read_mostly[lo:hi] = value
+        st.touch()
         if not value:
             # Collapse duplicated pages to a single copy; keep the GPU copy
             # when both exist (deterministic, documented choice).
@@ -245,6 +260,7 @@ class UnifiedMemoryDriver:
         """Set/unset preferred location.  Does not move data (per the API)."""
         st = self.state_of(alloc)
         st.preferred[lo:hi] = NO_PREFERENCE if proc is None else int(proc)
+        st.touch()
 
     def set_accessed_by(
         self, alloc: Allocation, lo: int, hi: int, proc: Processor, value: bool
@@ -252,6 +268,7 @@ class UnifiedMemoryDriver:
         """Set/unset AccessedBy: keep ``proc``'s mapping established."""
         st = self.state_of(alloc)
         st.accessed_by[proc, lo:hi] = value
+        st.touch()
         if value:
             # Map whatever is populated now; future migrations keep it fresh.
             pop = st.populated()[lo:hi]
@@ -341,9 +358,37 @@ class UnifiedMemoryDriver:
             raise ValueError(f"page range [{lo_page},{hi_page}) out of bounds")
 
         st = self.state_of(alloc)
+
+        # --- resident fast path ----------------------------------------- #
+        # Steady state: every page of the allocation already has a valid
+        # copy here (so fresh/remote/faulting masks are all empty), and for
+        # writes no page has a copy on the other processor (so there is no
+        # duplicate to invalidate).  Present implies mapped throughout the
+        # driver, so residency alone decides.  Only the LRU refresh and the
+        # logical tick remain -- both must still happen, exactly as the
+        # slow path would do them, or eviction ordering (and thus cost)
+        # diverges between the paths.
+        if self.fast_path:
+            _, cpu_full, gpu_full, cpu_any, gpu_any = st.residency_summary()
+            full_here = gpu_full if proc is Processor.GPU else cpu_full
+            if full_here and not (is_write and (gpu_any if proc is Processor.CPU
+                                                else cpu_any)):
+                if pages is not None and len(pages) == 0:
+                    return _ZERO_OUTCOME
+                self._tick += 1
+                if proc is Processor.GPU:
+                    if pages is None:
+                        st.last_use[lo_page:hi_page] = self._tick
+                    else:
+                        st.last_use[pages] = self._tick
+                if self.metrics_hook is not None:
+                    self._emit_outcome(_ZERO_OUTCOME, proc)
+                return _ZERO_OUTCOME
+
         out = AccessOutcome()
         p = self.params
-        page_idx = np.arange(lo_page, hi_page) if pages is None else np.asarray(pages)
+        page_idx = (st.page_index[lo_page:hi_page] if pages is None
+                    else np.asarray(pages))
         if len(page_idx) == 0:
             return out
         span_bytes = len(page_idx) * PAGE_SIZE if nbytes is None else nbytes
@@ -559,6 +604,7 @@ class UnifiedMemoryDriver:
         return proc is Processor.GPU or self.link.coherent
 
     def _populate(self, st: PageState, idx: np.ndarray, proc: Processor) -> None:
+        st.touch()
         st.present[proc, idx] = True
         st.mapped[proc, idx] = True
         st.last_use[idx] = self._tick
@@ -573,6 +619,7 @@ class UnifiedMemoryDriver:
         """Flip residency of pages ``idx`` to ``proc`` and fix mappings."""
         if len(idx) == 0:
             return
+        st.touch()
         was_gpu = st.present[Processor.GPU, idx]
         st.present[proc.other, idx] = False
         st.present[proc, idx] = True
@@ -653,6 +700,7 @@ class UnifiedMemoryDriver:
             # makes SetReadMostly so effective on PCIe platforms.
             cost += p.fault_service + self.link.transfer_time(npages * PAGE_SIZE)
             out.fault_groups += 1
+        st.touch()
         st.present[proc, idx] = True
         st.mapped[proc, idx] = True
         st.last_use[idx] = self._tick
@@ -668,6 +716,7 @@ class UnifiedMemoryDriver:
         return cost
 
     def _drop_copies(self, st: PageState, idx: np.ndarray, keep: Processor) -> None:
+        st.touch()
         was_gpu = st.present[Processor.GPU, idx]
         st.present[keep.other, idx] = False
         st.mapped[keep.other, idx] = st.accessed_by[keep.other, idx]
@@ -712,12 +761,13 @@ class UnifiedMemoryDriver:
             _, st, page = best
             lo = (page // block) * block
             hi = min(lo + block, st.npages)
-            window = np.arange(lo, hi)
+            window = st.page_index[lo:hi]
             victim_mask = st.present[Processor.GPU, window]
             if st is ex_state:
                 victim_mask &= ~pinned[window]
             victims = window[victim_mask]
             # Write back to host: pages leave the GPU, host copy revalidated.
+            st.touch()
             st.present[Processor.GPU, victims] = False
             st.mapped[Processor.GPU, victims] = st.accessed_by[Processor.GPU, victims]
             st.present[Processor.CPU, victims] = True

@@ -48,9 +48,15 @@ class AccessMap:
         return grid.reshape(rows, width)
 
     def to_ascii(self, width: int = 64, *, on: str = "#", off: str = ".") -> str:
-        """Render as ASCII art, one character per word."""
+        """Render as ASCII art, one character per word.
+
+        Vectorized like :meth:`to_csv`: ``np.where`` picks the glyph per
+        word and each row joins in one call, instead of a Python loop over
+        every character of a potentially megabyte-scale map.
+        """
         grid = self.as_grid(width)
-        return "\n".join("".join(on if c else off for c in row) for row in grid)
+        chars = np.where(grid, on, off)
+        return "\n".join("".join(row) for row in chars.tolist())
 
     def to_csv(self) -> str:
         """``word_index,accessed`` rows for external plotting."""

@@ -26,6 +26,7 @@ from ..cudart.advice import cudaMemcpyKind, cudaMemoryAdvise
 from ..cudart.observer import ObserverBase
 from ..memsim import Allocation, MemoryKind, Processor
 
+from .batch import KIND_READ, KIND_RMW, KIND_WRITE, TraceBatcher
 from .shadow import ShadowBlock
 from .smt import ShadowMemoryTable
 
@@ -34,6 +35,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..heatmap.store import HeatStore, SourceSite
 
 __all__ = ["Tracer", "TransferRecord", "AdviceRecord", "KernelRecord"]
+
+#: Unset-advice -> the set-advice it cancels (advice-state folding).
+_UNSET_OF = {
+    cudaMemoryAdvise.cudaMemAdviseUnsetReadMostly:
+        cudaMemoryAdvise.cudaMemAdviseSetReadMostly,
+    cudaMemoryAdvise.cudaMemAdviseUnsetPreferredLocation:
+        cudaMemoryAdvise.cudaMemAdviseSetPreferredLocation,
+    cudaMemoryAdvise.cudaMemAdviseUnsetAccessedBy:
+        cudaMemoryAdvise.cudaMemAdviseSetAccessedBy,
+}
 
 
 @dataclass(frozen=True)
@@ -73,7 +84,9 @@ class Tracer(ObserverBase):
     """Records heap accesses into shadow memory (paper §III-C)."""
 
     def __init__(self, *, enabled: bool = True,
-                 heat: "HeatStore | None" = None) -> None:
+                 heat: "HeatStore | None" = None,
+                 batch: bool = True,
+                 sample: int | None = None) -> None:
         self.smt = ShadowMemoryTable()
         self.enabled = enabled
         #: Optional access-count heat recorder (off by default; the shadow
@@ -86,6 +99,19 @@ class Tracer(ObserverBase):
         #: Called with the number of the epoch that just closed whenever
         #: :meth:`advance_epoch` runs (telemetry epoch markers).
         self.epoch_hooks: list = []
+        #: Sampled shadow mode: record 1-in-N words (strided over spans,
+        #: 1-in-N calls for sub-stride accesses).  Diagnostics scale the
+        #: counts back up; results are *estimates* -- see EXPERIMENTS.md.
+        self.sample = max(1, int(sample)) if sample else 1
+        self._sample_tick = 0
+        #: Coalesces consecutive same-(alloc, proc, kind) accesses into one
+        #: vectorized shadow update (see :mod:`repro.runtime.batch`).
+        #: ``Tracer(batch=False)`` restores the one-update-per-call path
+        #: (differential testing); diagnostics are identical either way.
+        self.batcher: TraceBatcher | None = \
+            TraceBatcher(self._apply_range) if batch else None
+        #: Folded per-allocation advice state (see :meth:`advice_for`).
+        self._advice_state: dict[int, set[cudaMemoryAdvise]] = {}
         self._runtime: "CudaRuntime | None" = None
 
     # ------------------------------------------------------------------ #
@@ -120,6 +146,50 @@ class Tracer(ObserverBase):
         return self._runtime.current_proc if self._runtime else Processor.CPU
 
     # ------------------------------------------------------------------ #
+    # shadow application (batch sink; sampling lives here)
+
+    def _apply_range(self, block: ShadowBlock, proc: Processor, kind: int,
+                     lo: int, hi: int) -> None:
+        """Apply one (possibly coalesced) word interval to the shadow.
+
+        With ``sample=N`` spans of at least N words record every N-th word,
+        strided on the block's own word grid (multiples of N) so that
+        overlapping accesses mark the *same* representative words and the
+        scaled-up estimate stays faithful under overlap; narrower accesses
+        record fully on every N-th call.
+        """
+        n = self.sample
+        step = 1
+        if n > 1:
+            if hi - lo >= n:
+                step = n
+                lo = -(-lo // n) * n  # first grid word inside the span
+            else:
+                self._sample_tick += 1
+                if self._sample_tick % n:
+                    return
+        if kind == KIND_READ:
+            block.record_read(proc, lo, hi, step=step)
+        elif kind == KIND_WRITE:
+            block.record_write(proc, lo, hi, step=step)
+        else:
+            block.record_rmw(proc, lo, hi, step=step)
+
+    def _trace_span(self, block: ShadowBlock, proc: Processor, kind: int,
+                    lo: int, hi: int) -> None:
+        """Route one span access through the batcher (or apply directly)."""
+        b = self.batcher
+        if b is not None:
+            b.add(block, proc, kind, lo, hi)
+        else:
+            self._apply_range(block, proc, kind, lo, hi)
+
+    def flush_trace(self) -> None:
+        """Apply any pending coalesced interval (diagnostic-safe point)."""
+        if self.batcher is not None:
+            self.batcher.flush()
+
+    # ------------------------------------------------------------------ #
     # direct tracing API (paper Table I)
 
     def traceR(self, addr: int, size: int = 4,
@@ -129,7 +199,7 @@ class Tracer(ObserverBase):
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
-                block.record_read(self.current_proc, lo, hi)
+                self._trace_span(block, self.current_proc, KIND_READ, lo, hi)
                 if self.heat is not None:
                     self.heat.record(block.alloc, self.current_proc,
                                      is_write=False, lo=lo, hi=hi, site=site)
@@ -142,7 +212,7 @@ class Tracer(ObserverBase):
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
-                block.record_write(self.current_proc, lo, hi)
+                self._trace_span(block, self.current_proc, KIND_WRITE, lo, hi)
                 if self.heat is not None:
                     self.heat.record(block.alloc, self.current_proc,
                                      is_write=True, lo=lo, hi=hi, site=site)
@@ -155,7 +225,7 @@ class Tracer(ObserverBase):
             block = self.smt.lookup(addr)
             if block is not None:
                 lo, hi = block.word_range(addr - block.alloc.base, size)
-                block.record_rmw(self.current_proc, lo, hi)
+                self._trace_span(block, self.current_proc, KIND_RMW, lo, hi)
                 if self.heat is not None:
                     proc = self.current_proc
                     self.heat.record(block.alloc, proc, is_write=False,
@@ -173,6 +243,7 @@ class Tracer(ObserverBase):
 
     def trc_free(self, alloc: Allocation) -> None:
         """``trcFree``: payload goes now, shadow parks until next diagnostic."""
+        self.flush_trace()
         self.smt.remove(alloc.base, self.epoch)
 
     # ------------------------------------------------------------------ #
@@ -196,15 +267,20 @@ class Tracer(ObserverBase):
         if indices is None:
             lo, hi = block.word_range(byte_offset, count * elem_size)
             idx = None
+            kind = KIND_RMW if is_rmw else (KIND_WRITE if is_write else KIND_READ)
+            self._trace_span(block, proc, kind, lo, hi)
         else:
             lo = hi = 0
             idx = block.word_indices(byte_offset, elem_size, indices)
-        if is_rmw:
-            block.record_rmw(proc, lo, hi, idx)
-        elif is_write:
-            block.record_write(proc, lo, hi, idx)
-        else:
-            block.record_read(proc, lo, hi, idx)
+            # Scattered accesses bypass the batcher but must still respect
+            # program order against any pending interval.
+            self.flush_trace()
+            if is_rmw:
+                block.record_rmw(proc, lo, hi, idx)
+            elif is_write:
+                block.record_write(proc, lo, hi, idx)
+            else:
+                block.record_read(proc, lo, hi, idx)
         if self.heat is not None:
             if is_rmw:
                 self.heat.record(alloc, proc, is_write=False,
@@ -218,6 +294,7 @@ class Tracer(ObserverBase):
     def on_memcpy(self, dst, dst_off, src, src_off, nbytes, kind) -> None:  # noqa: D102
         if not self.enabled:
             return
+        self.flush_trace()
         # Paper §III-C: H2D transfers are recorded as CPU writes of the
         # destination; D2H transfers as CPU reads of the source.
         if dst is not None:
@@ -245,18 +322,32 @@ class Tracer(ObserverBase):
 
     def on_kernel_launch(self, name: str, grid: int, block: int) -> None:  # noqa: D102
         if self.enabled:
+            self.flush_trace()
             self.kernels.append(KernelRecord(name, grid, block, self.epoch))
+
+    def on_kernel_complete(self, name: str, grid: int, block: int,
+                           duration: float) -> None:  # noqa: D102
+        if self.enabled:
+            self.flush_trace()
 
     def on_advice(self, alloc, advice, byte_offset, nbytes, device_id) -> None:  # noqa: D102
         if self.enabled:
+            self.flush_trace()
             self.advice.append(AdviceRecord(
                 alloc, advice, byte_offset, nbytes, device_id, self.epoch))
+            state = self._advice_state.setdefault(alloc.base, set())
+            unset = _UNSET_OF.get(advice)
+            if unset is not None:
+                state.discard(unset)
+            else:
+                state.add(advice)
 
     # ------------------------------------------------------------------ #
     # epoch management (driven by diagnostics)
 
     def advance_epoch(self) -> int:
         """Close the current epoch: reset live shadows, drop parked ones."""
+        self.flush_trace()
         self.smt.reset_all()
         self.smt.flush_graveyard()
         closed = self.epoch
@@ -268,19 +359,12 @@ class Tracer(ObserverBase):
         return self.epoch
 
     def advice_for(self, alloc: Allocation) -> set[cudaMemoryAdvise]:
-        """Advice currently applied to ``alloc`` (set/unset pairs folded)."""
-        state: set[cudaMemoryAdvise] = set()
-        A = cudaMemoryAdvise
-        unset_of = {
-            A.cudaMemAdviseUnsetReadMostly: A.cudaMemAdviseSetReadMostly,
-            A.cudaMemAdviseUnsetPreferredLocation: A.cudaMemAdviseSetPreferredLocation,
-            A.cudaMemAdviseUnsetAccessedBy: A.cudaMemAdviseSetAccessedBy,
-        }
-        for rec in self.advice:
-            if rec.alloc.base != alloc.base:
-                continue
-            if rec.advice in unset_of:
-                state.discard(unset_of[rec.advice])
-            else:
-                state.add(rec.advice)
-        return state
+        """Advice currently applied to ``alloc`` (set/unset pairs folded).
+
+        Folded incrementally in :meth:`on_advice` -- O(1) per query instead
+        of rescanning the whole advice history (which the anti-pattern
+        detectors query once per allocation per diagnostic).  The record
+        list itself is untouched and still exported verbatim.
+        """
+        state = self._advice_state.get(alloc.base)
+        return set(state) if state else set()
