@@ -77,7 +77,8 @@ REPORT_RUNNERS: dict[str, Callable[[Session], WorkloadRun]] = {
 
 def run_report(workload: str, platform: str, out_dir: str | Path, *,
                buckets: int = 64, attribute: bool = True,
-               materialize: bool = True, why: bool = False) -> dict[str, Path]:
+               materialize: bool = True, why: bool = False,
+               sample: int | None = None) -> dict[str, Path]:
     """Run ``workload`` with heat recording and write the report bundle.
 
     Returns artifact paths: ``report`` (HTML) plus everything
@@ -88,6 +89,11 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
     With ``why=True`` the run is captured with causal provenance: the
     report gains the causal-blame section and ``causes.json`` is written
     next to the other artifacts.
+
+    With ``sample=N`` the tracer records 1-in-N words; the effective rate
+    and estimated fidelity land in the telemetry stream and as a report
+    banner (results are estimates).  If any driver events fell out of
+    retention un-spilled, the report leads with a data-loss warning.
     """
     preset = PLATFORM_ALIASES.get(platform, platform)
     runner = REPORT_RUNNERS.get(workload, WORKLOADS[workload])
@@ -99,10 +105,12 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
                                  heat=heat)
     recorder.workload = workload
     recorder.config = {"platform": preset, "materialize": materialize,
-                       "heat_buckets": buckets, "causes": why}
+                       "heat_buckets": buckets, "causes": why,
+                       "sample": sample or 1}
     context.install(recorder, track_causes=why)
     try:
-        session = make_session(preset, trace=True, materialize=materialize)
+        session = make_session(preset, trace=True, materialize=materialize,
+                               sample=sample)
         run = runner(session)
         diagnoses = list(run.diagnoses)
         if session.tracer is not None:
@@ -128,10 +136,14 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
     stats = {k: v for k, v in run.stats.items()
              if isinstance(v, (int, float))}
     stats.setdefault("sim_time", run.sim_time)
+    dropped = int(recorder.events_dropped_total)
     report = build_report(workload=workload, platform=preset, store=heat,
                           diagnoses=diagnoses,
                           metrics=recorder.metrics.snapshot(), stats=stats,
-                          causes=causes)
+                          causes=causes,
+                          stream={"events_dropped": dropped} if dropped
+                          else None,
+                          sampling=recorder.sampling)
     report_path = out / "report.html"
     report_path.write_text(report)
     paths["report"] = report_path
@@ -162,6 +174,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--why", action="store_true",
                         help="capture causal provenance: adds the causal-"
                              "blame report section and writes causes.json")
+    parser.add_argument("--sample", type=int, default=None, metavar="N",
+                        help="sampled tracing: record 1-in-N words "
+                             "(faster; results are estimates, flagged in "
+                             "the report)")
     parser.add_argument("--ansi", action="store_true",
                         help="also print the terminal heatmap to stdout")
     parser.add_argument("--epoch", type=int, default=None,
@@ -191,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                        buckets=args.buckets,
                        attribute=not args.no_attribution,
                        materialize=not args.footprint,
-                       why=args.why)
+                       why=args.why, sample=args.sample)
     store: HeatStore = paths.pop("store")  # type: ignore[assignment]
     if args.ansi:
         color = False if args.no_color else supports_color()

@@ -116,6 +116,11 @@ details summary { cursor: pointer; font-size: 12px; color: var(--ink-2); }
 .finding .icon { font-size: 11px; margin-right: 6px; }
 .finding .detail { color: var(--ink-2); font-size: 12px; margin-top: 2px; }
 .finding .remedy { color: var(--muted); font-size: 12px; margin-top: 2px; }
+.banner { border: 1px solid var(--border); border-left: 4px solid var(--h8);
+  border-radius: 6px; background: var(--surface); padding: 8px 14px;
+  margin: 10px 0; font-size: 13px; }
+.banner.warn { border-left-color: #d03b3b; }
+.banner .why { color: var(--ink-2); font-size: 12px; margin-top: 2px; }
 .none { color: var(--muted); font-size: 13px; }
 a { color: var(--h8); }
 footer { margin-top: 40px; font-size: 11px; color: var(--muted); }
@@ -408,6 +413,46 @@ def _tiles(store: HeatStore,
             + "</div>")
 
 
+def _banners(stream: Mapping[str, Any] | None,
+             sampling: Mapping[str, Any] | None) -> str:
+    """Fidelity banners: data loss, spill/merge provenance, sampling."""
+    parts: list[str] = []
+    dropped = int((stream or {}).get("events_dropped", 0))
+    if dropped:
+        parts.append(
+            '<div class="banner warn">&#9888; '
+            f"<strong>{dropped:,} driver event(s) dropped</strong> from "
+            "retention without a spill sink."
+            '<div class="why">aggregate counters cover the full run, but '
+            "the event stream and causal blame are missing those events; "
+            "re-run with streaming spill (repro-agg run) or a larger "
+            "event-log capacity.</div></div>")
+    if stream:
+        merged_from = stream.get("merged_from") or ()
+        spilled = int(stream.get("events_spilled", 0))
+        bits = []
+        if merged_from:
+            bits.append(f"merged from {len(merged_from)} shard(s)")
+        if spilled:
+            bits.append(f"{spilled:,} event(s) spilled to disk")
+        if bits:
+            warnings = stream.get("warnings") or ()
+            warn_html = "".join(
+                f'<div class="why">&#9888; {_esc(w)}</div>'
+                for w in warnings)
+            parts.append('<div class="banner">streamed run: '
+                         + ", ".join(bits) + "." + warn_html + "</div>")
+    if sampling:
+        parts.append(
+            '<div class="banner">sampled tracing: 1-in-'
+            f'{int(sampling.get("sample", 1))} words '
+            f'(effective rate {sampling.get("effective_rate")}, '
+            f'estimated fidelity {sampling.get("estimated_fidelity")}).'
+            '<div class="why">heat counts and diagnostics are scaled '
+            "estimates; dense runs are exact.</div></div>")
+    return "".join(parts)
+
+
 def build_report(
     *,
     workload: str,
@@ -417,6 +462,8 @@ def build_report(
     metrics: Mapping[str, Mapping[str, float]] | None = None,
     stats: Mapping[str, Any] | None = None,
     causes: Mapping[str, Any] | None = None,
+    stream: Mapping[str, Any] | None = None,
+    sampling: Mapping[str, Any] | None = None,
     artifacts: Iterable[str] = ("timeline.json", "events.jsonl",
                                 "metrics.prom"),
 ) -> str:
@@ -429,6 +476,11 @@ def build_report(
     :param stats: the workload's numeric run stats (headline tiles).
     :param causes: a :meth:`repro.causes.CausalGraph.report` dict; adds
         the causal-blame section (runs captured with ``--why``).
+    :param stream: streaming provenance: ``events_dropped`` raises the
+        data-loss warning banner; ``merged_from`` / ``events_spilled`` /
+        ``warnings`` describe a spill-and-merge run (``repro-agg``).
+    :param sampling: :meth:`repro.runtime.Tracer.sampling_info` dict for
+        sampled runs; adds the estimated-fidelity banner.
     :param artifacts: sibling artifact file names to link.
     """
     findings_index = _findings_by_alloc_epoch(diagnoses)
@@ -438,6 +490,7 @@ def build_report(
             f'<div class="sub">{len(allocs)} traced allocation(s) &middot; '
             f'{len(store.epochs_closed)} epoch(s) &middot; '
             f'heat bucketed ×{store.nbuckets}</div>']
+    body.append(_banners(stream, sampling))
     body.append(_tiles(store, metrics, stats))
     body.append("<h2>Temporal heatmaps</h2>")
     if allocs:

@@ -105,11 +105,31 @@ class AllocationHeat:
 
     def __init__(self, alloc: Allocation, *, nbuckets: int = 64,
                  max_sites: int = 32) -> None:
-        self.label = alloc.label or f"alloc@{alloc.base:#x}"
-        self.base = alloc.base
-        self.serial = alloc.serial
-        self.size = alloc.size
-        self.nwords = max(1, -(-alloc.size // WORD_SIZE))
+        self._init(alloc.label or f"alloc@{alloc.base:#x}", alloc.base,
+                   alloc.serial, alloc.size, nbuckets, max_sites)
+
+    @classmethod
+    def from_meta(cls, label: str, base: int, serial: int, size: int, *,
+                  nbuckets: int = 64,
+                  max_sites: int = 32) -> "AllocationHeat":
+        """Rebuild a record from serialized geometry (no live allocation).
+
+        Used when reconstituting heat from on-disk stream segments
+        (:mod:`repro.stream`): bucket geometry is a pure function of
+        ``size`` and ``nbuckets``, so a rebuilt record bins identically
+        to the live one it mirrors.
+        """
+        self = cls.__new__(cls)
+        self._init(label, base, serial, size, nbuckets, max_sites)
+        return self
+
+    def _init(self, label: str, base: int, serial: int, size: int,
+              nbuckets: int, max_sites: int) -> None:
+        self.label = label
+        self.base = base
+        self.serial = serial
+        self.size = size
+        self.nwords = max(1, -(-size // WORD_SIZE))
         self.nbuckets = max(1, min(nbuckets, self.nwords))
         self.max_sites = max_sites
         self.epochs: list[EpochHeat] = []
@@ -268,6 +288,11 @@ class HeatStore:
     def peek(self, alloc: Allocation) -> AllocationHeat | None:
         """The heat record for ``alloc`` if it exists (never creates one)."""
         return self._allocs.get((alloc.base, alloc.serial))
+
+    def adopt(self, heat: AllocationHeat) -> AllocationHeat:
+        """Install a pre-built record (stream merge reconstruction)."""
+        self._allocs[(heat.base, heat.serial)] = heat
+        return heat
 
     def record(self, alloc: Allocation, proc: Processor, *, is_write: bool,
                lo: int = 0, hi: int = 0, idx: np.ndarray | None = None,

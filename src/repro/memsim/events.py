@@ -103,6 +103,12 @@ class EventLog:
     ``capacity`` events instead (plus up to ``capacity`` per kind in the
     kind index), so unbounded runs can stream forever at a fixed
     footprint.  Aggregate counters always cover the full run either way.
+
+    Overflow is never silent: every event that falls out of retention --
+    a ring eviction or a non-ring record beyond ``capacity`` -- is either
+    handed to the :attr:`spill` sink (evict-to-disk, see
+    :mod:`repro.stream`) or counted in :attr:`dropped` and announced to
+    the drop listeners, so telemetry can surface the loss.
     """
 
     def __init__(self, *, keep_events: bool = True, capacity: int = 1_000_000,
@@ -125,6 +131,14 @@ class EventLog:
         self._by_kind: dict[EventKind, deque[Event] | list[Event]] = {}
         self._next_id = 0
         self._listeners: list[Callable[[Event], None]] = []
+        self._drop_listeners: list[Callable[[Event], None]] = []
+        #: Events that fell out of retention *without* being spilled,
+        #: by kind.  Deliberate counters-only mode (``keep_events=False``)
+        #: retains nothing by design and is not counted here.
+        self.dropped: Counter[EventKind] = Counter()
+        #: Evict-to-disk sink: when set, overflowed events are handed here
+        #: instead of being dropped (and ``dropped`` stays untouched).
+        self.spill: Callable[[Event], None] | None = None
         self.counts: Counter[EventKind] = Counter()
         self.pages: Counter[EventKind] = Counter()
         self.bytes: Counter[EventKind] = Counter()
@@ -142,17 +156,68 @@ class EventLog:
         self.pages[event.kind] += event.pages
         self.bytes[event.kind] += event.nbytes
         self.costs[event.kind] += event.cost
-        if self._keep and (self._ring or len(self._events) < self._capacity):
-            self._events.append(event)
-            index = self._by_kind.get(event.kind)
-            if index is None:
-                index = deque(maxlen=self._capacity) if self._ring else []
-                self._by_kind[event.kind] = index
-            index.append(event)
+        if self._keep:
+            if self._ring:
+                if self._capacity > 0 and len(self._events) >= self._capacity:
+                    self._overflow(self._events[0])
+                self._events.append(event)
+                self._index(event)
+            elif len(self._events) < self._capacity:
+                self._events.append(event)
+                self._index(event)
+            else:
+                # Beyond capacity in oldest-window mode: the event is never
+                # retained -- spill it or count the loss.
+                self._overflow(event)
         if self._listeners:
             for cb in tuple(self._listeners):
                 cb(event)
         return event
+
+    def _index(self, event: Event) -> None:
+        index = self._by_kind.get(event.kind)
+        if index is None:
+            index = deque(maxlen=self._capacity) if self._ring else []
+            self._by_kind[event.kind] = index
+        index.append(event)
+
+    def _overflow(self, victim: Event) -> None:
+        """Route one event falling out of retention (spill or drop)."""
+        if self.spill is not None:
+            self.spill(victim)
+            return
+        self.dropped[victim.kind] += 1
+        for cb in tuple(self._drop_listeners):
+            cb(victim)
+
+    def configure_retention(self, *, capacity: int | None = None,
+                            ring: bool | None = None) -> None:
+        """Re-bound retention in place (streaming runs shrink the window).
+
+        Already-retained events beyond the new bound are routed through
+        the normal overflow path (spilled or counted as dropped), never
+        silently discarded.  Counters and the id sequence are untouched.
+        """
+        if capacity is not None:
+            self._capacity = max(0, int(capacity))
+        if ring is not None:
+            self._ring = bool(ring)
+        retained = list(self._events)
+        overflow: list[Event] = []
+        if self._capacity and len(retained) > self._capacity:
+            if self._ring:
+                overflow = retained[:-self._capacity]
+                retained = retained[-self._capacity:]
+            else:
+                overflow = retained[self._capacity:]
+                retained = retained[:self._capacity]
+        self._events = deque(retained, maxlen=self._capacity or None) \
+            if self._ring else retained
+        self._by_kind.clear()
+        for event in retained:
+            self._index(event)
+        for event in overflow:
+            self._overflow(event)
 
     # ------------------------------------------------------------------ #
     # live taps (telemetry)
@@ -171,6 +236,26 @@ class EventLog:
         """Detach a previously added listener (no-op if absent)."""
         if callback in self._listeners:
             self._listeners.remove(callback)
+
+    def add_drop_listener(self, callback: Callable[[Event], None]) -> None:
+        """Invoke ``callback(event)`` whenever retention drops an event.
+
+        Fires only for true losses: events overflowing retention with no
+        :attr:`spill` sink installed.  Telemetry subscribes here to emit
+        the ``repro_events_dropped_total`` counter.
+        """
+        if callback not in self._drop_listeners:
+            self._drop_listeners.append(callback)
+
+    def remove_drop_listener(self, callback: Callable[[Event], None]) -> None:
+        """Detach a previously added drop listener (no-op if absent)."""
+        if callback in self._drop_listeners:
+            self._drop_listeners.remove(callback)
+
+    @property
+    def dropped_total(self) -> int:
+        """Events lost from retention (not spilled), across all kinds."""
+        return sum(self.dropped.values())
 
     def __len__(self) -> int:
         return sum(self.counts.values())
@@ -204,6 +289,7 @@ class EventLog:
         self.counts.clear()
         self.pages.clear()
         self.bytes.clear()
+        self.dropped.clear()
         self.costs = {k: 0.0 for k in EventKind}
 
     def summary(self) -> dict[str, float]:

@@ -358,6 +358,31 @@ class Tracer(ObserverBase):
             hook(closed)
         return self.epoch
 
+    def sampling_info(self) -> dict | None:
+        """Effective sampling rate + estimated fidelity, or ``None``.
+
+        ``None`` for full-rate tracers (every word recorded); otherwise a
+        dict telemetry and report headers embed verbatim so sampled runs
+        are visibly labeled as sampled:
+
+        * ``sample`` -- the configured stride N (1-in-N words recorded);
+        * ``effective_rate`` -- fraction of words recorded (``1/N``);
+        * ``estimated_fidelity`` -- conservative estimate of how closely
+          scaled-up counts track a full trace.  Dense full-span patterns
+          are exact (the fidelity suite pins this); the estimate decays
+          with the stride to cover partial-coverage patterns, matching
+          the relative-error bounds measured in
+          ``tests/perf/test_sampled_fidelity.py``.
+        """
+        n = self.sample
+        if n <= 1:
+            return None
+        import math
+        fidelity = max(0.5, 1.0 - 0.05 * math.log2(n))
+        return {"sample": n,
+                "effective_rate": round(1.0 / n, 6),
+                "estimated_fidelity": round(fidelity, 3)}
+
     def advice_for(self, alloc: Allocation) -> set[cudaMemoryAdvise]:
         """Advice currently applied to ``alloc`` (set/unset pairs folded).
 

@@ -214,8 +214,10 @@ class MetricsRegistry:
         self.prefix = prefix
         self._instruments: dict[str, _Instrument] = {}
 
-    def _get(self, cls, name: str, help: str, **kwargs) -> _Instrument:
-        name = (self.prefix + name) if self.prefix else name
+    def _get(self, cls, name: str, help: str, *, absolute: bool = False,
+             **kwargs) -> _Instrument:
+        if self.prefix and not absolute:
+            name = self.prefix + name
         inst = self._instruments.get(name)
         if inst is None:
             inst = self._instruments[name] = cls(name, help, **kwargs)
@@ -225,18 +227,27 @@ class MetricsRegistry:
                 f"not {cls.kind}")
         return inst
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create a counter family."""
-        return self._get(Counter, name, help)  # type: ignore[return-value]
+    def counter(self, name: str, help: str = "", *,
+                absolute: bool = False) -> Counter:
+        """Get or create a counter family.
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        """Get or create a gauge family."""
-        return self._get(Gauge, name, help)  # type: ignore[return-value]
+        :param absolute: register ``name`` verbatim, skipping the
+            registry prefix (cross-package series with a fixed contract
+            name, e.g. ``repro_events_dropped_total``).
+        """
+        return self._get(Counter, name, help, absolute=absolute)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", *,
+              absolute: bool = False) -> Gauge:
+        """Get or create a gauge family (``absolute`` skips the prefix)."""
+        return self._get(Gauge, name, help, absolute=absolute)  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        """Get or create a histogram family."""
-        return self._get(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+                  buckets: Sequence[float] = DEFAULT_BUCKETS, *,
+                  absolute: bool = False) -> Histogram:
+        """Get or create a histogram family (``absolute`` skips the prefix)."""
+        return self._get(Histogram, name, help, buckets=buckets,
+                         absolute=absolute)  # type: ignore[return-value]
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Nested dict: metric name -> {label string -> value}.

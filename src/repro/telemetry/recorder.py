@@ -68,6 +68,7 @@ class _SessionHooks:
     pid: int
     listener: Any
     tracer: "Tracer | None" = None
+    drop_listener: Any = None
     epoch_hook: Any = None
     pending_kernels: list[tuple[str, int, int, float]] = field(default_factory=list)
     #: Heat store the tracer carried before attach (restored on detach).
@@ -121,6 +122,9 @@ class TelemetryRecorder(ObserverBase):
         #: stream (set by CLIs before the first attach).
         self.workload = ""
         self.config: dict[str, Any] = {}
+        #: Sampling regime of the last sampled tracer attached (stride,
+        #: effective rate, estimated fidelity) -- ``None`` for dense runs.
+        self.sampling: dict[str, Any] | None = None
         self._sessions: list[_SessionHooks] = []
         self._active: _SessionHooks | None = None
         self._declare_core_metrics()
@@ -146,6 +150,11 @@ class TelemetryRecorder(ObserverBase):
         m.counter("remote_access_bytes_total",
                   "bytes served over the link without migration").inc(0)
         m.counter("kernel_launches_total", "kernel launches").inc(0)
+        # Contract name shared with the stream tooling: registered verbatim
+        # (no ``xplacer_`` prefix) so dashboards see one series either way.
+        m.counter("repro_events_dropped_total",
+                  "driver events lost from retention (not spilled)",
+                  absolute=True).inc(0)
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -175,6 +184,14 @@ class TelemetryRecorder(ObserverBase):
             self._on_driver_event(_hooks, event)
 
         hooks.listener = listener
+
+        def drop_listener(event: Event) -> None:
+            self.metrics.counter(
+                "repro_events_dropped_total",
+                "driver events lost from retention (not spilled)",
+                absolute=True).inc(1, kind=event.kind.value)
+
+        hooks.drop_listener = drop_listener
         if self.jsonl is not None and self.jsonl.records == 0:
             self.jsonl.write(run_manifest(platform, workload=self.workload,
                                           config=self.config))
@@ -182,8 +199,10 @@ class TelemetryRecorder(ObserverBase):
             pid, label or f"{platform.name} session {pid}")
         runtime.subscribe(self)
         platform.events.add_listener(listener)
+        platform.events.add_drop_listener(drop_listener)
         platform.um.metrics_hook = self._metrics_hook
         if tracer is not None:
+            self._record_sampling(tracer)
             def epoch_hook(epoch: int, _hooks=hooks) -> None:
                 self._on_epoch(_hooks, epoch)
             hooks.epoch_hook = epoch_hook
@@ -206,6 +225,8 @@ class TelemetryRecorder(ObserverBase):
             self._finalize_session(hooks)
             hooks.runtime.unsubscribe(self)
             hooks.platform.events.remove_listener(hooks.listener)
+            if hooks.drop_listener is not None:
+                hooks.platform.events.remove_drop_listener(hooks.drop_listener)
             # Bound-method access creates a fresh object each time, so
             # compare by equality, not identity.
             if hooks.platform.um.metrics_hook == self._metrics_hook:
@@ -230,6 +251,34 @@ class TelemetryRecorder(ObserverBase):
     def attached(self) -> bool:
         """Whether at least one session is currently wired in."""
         return bool(self._sessions)
+
+    def _record_sampling(self, tracer: "Tracer") -> None:
+        """Surface the tracer's sampling regime across all three sinks.
+
+        Dense tracing (stride 1) records nothing; a sampled run gets a
+        ``sampling`` JSONL record plus stride/fidelity gauges so report
+        consumers can flag that heat and diagnostics are estimates.
+        """
+        info = tracer.sampling_info()
+        if info is None:
+            return
+        self.sampling = dict(info)
+        self.metrics.gauge("sampling_stride",
+                           "shadow sampling stride (1-in-N words)"
+                           ).set(info["sample"])
+        self.metrics.gauge("sampling_estimated_fidelity",
+                           "estimated diagnostic fidelity under sampling"
+                           ).set(info["estimated_fidelity"])
+        self._write({"type": "sampling", **info})
+
+    @property
+    def events_dropped_total(self) -> float:
+        """Events lost from retention across every attached session."""
+        counter = self.metrics.counter(
+            "repro_events_dropped_total",
+            "driver events lost from retention (not spilled)",
+            absolute=True)
+        return sum(counter.series().values())
 
     # ------------------------------------------------------------------ #
     # sink helpers

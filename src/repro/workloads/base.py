@@ -64,6 +64,7 @@ def make_session(
     trace: bool = True,
     materialize: bool = True,
     gpu_memory_bytes: int | None = None,
+    sample: int | None = None,
 ) -> Session:
     """Build a fresh simulated session.
 
@@ -71,6 +72,9 @@ def make_session(
     :param trace: attach an XPlacer tracer.
     :param materialize: back allocations with real numpy buffers.
     :param gpu_memory_bytes: override GPU memory (oversubscription studies).
+    :param sample: shadow-sampling stride (1-in-N words); ``None``/1 traces
+        densely.  The tracer's effective rate and estimated fidelity are
+        surfaced through :meth:`~repro.runtime.Tracer.sampling_info`.
     """
     if isinstance(platform, str):
         factory = PLATFORMS[platform]
@@ -81,7 +85,7 @@ def make_session(
     else:
         plat = platform
     runtime = CudaRuntime(plat, materialize=materialize)
-    tracer = Tracer().attach(runtime) if trace else None
+    tracer = Tracer(sample=sample).attach(runtime) if trace else None
     recorder = telemetry_context.current_recorder()
     if recorder is not None:
         recorder.attach(runtime, tracer,

@@ -93,3 +93,33 @@ class TestBuildReport:
         html = build_report(workload="w", platform="p",
                             store=HeatStore(attribute=False))
         assert "no heat recorded" in html
+
+
+class TestBanners:
+    def test_no_banner_by_default(self, store):
+        html = build_report(workload="w", platform="p", store=store)
+        assert 'class="banner' not in html
+
+    def test_dropped_events_warning_banner(self, store):
+        html = build_report(workload="w", platform="p", store=store,
+                            stream={"events_dropped": 12})
+        assert '<div class="banner warn">' in html
+        assert "12 driver event(s) dropped" in html
+        assert "repro-agg run" in html  # remediation points at streaming
+
+    def test_streamed_run_banner_with_merge_warnings(self, store):
+        html = build_report(workload="w", platform="p", store=store,
+                            stream={"merged_from": ["a", "b", "c"],
+                                    "events_spilled": 400,
+                                    "warnings": ["skipping truncated <seg>"]})
+        assert "merged from 3 shard(s)" in html
+        assert "400 event(s) spilled to disk" in html
+        assert "skipping truncated &lt;seg&gt;" in html  # escaped
+
+    def test_sampling_banner(self, store):
+        html = build_report(workload="w", platform="p", store=store,
+                            sampling={"sample": 8, "effective_rate": 0.125,
+                                      "estimated_fidelity": 0.85})
+        assert "sampled tracing: 1-in-8 words" in html
+        assert "effective rate 0.125" in html
+        assert "estimated fidelity 0.85" in html

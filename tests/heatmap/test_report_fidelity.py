@@ -1,0 +1,94 @@
+"""Report fidelity satellites: sampling provenance + artifact size bounds."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.heatmap.cli import run_report
+from repro.runtime import Tracer
+
+
+@pytest.fixture(scope="module")
+def lulesh_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("lulesh-report")
+    return run_report("lulesh", "pcie", out, why=True), out
+
+
+class TestArtifactSizes:
+    """Size regression guard for the bundled LULESH report.
+
+    Bounds are ~1.5x the current artifact sizes: a change that bloats the
+    inline SVG/CSS or switches the NPZ off compression trips them.
+    """
+
+    def test_report_html_stays_bundled_but_bounded(self, lulesh_report):
+        paths, _ = lulesh_report
+        size = paths["report"].stat().st_size
+        assert size < 5_000_000, f"report.html grew to {size} bytes"
+        assert size > 100_000  # still genuinely self-contained
+
+    def test_npz_is_compressed(self, lulesh_report):
+        paths, _ = lulesh_report
+        npz_size = paths["heat_npz"].stat().st_size
+        assert npz_size < 128_000, f"heat.npz grew to {npz_size} bytes"
+        # Compression must beat the textual CSV by a wide margin.
+        assert npz_size * 4 < paths["heat_csv"].stat().st_size
+        with np.load(paths["heat_npz"]) as npz:
+            raw = sum(npz[k].nbytes for k in npz.files)
+        assert npz_size < raw  # savez_compressed, not savez
+
+    def test_npz_round_trips_the_store(self, lulesh_report):
+        paths, _ = lulesh_report
+        store = paths["store"]
+        with np.load(paths["heat_npz"]) as npz:
+            labels = [str(x) for x in npz["labels"]]
+            assert labels == [h.label for h in store.allocations()]
+            total = sum(int(npz[f"a{i}_counts"].sum())
+                        for i in range(len(labels)))
+        assert total == store.total
+
+
+class TestSamplingProvenance:
+    @pytest.fixture(scope="class")
+    def sampled(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("sampled")
+        return run_report("pathfinder", "pcie", out, sample=4), out
+
+    def test_sampling_record_in_jsonl(self, sampled):
+        paths, out = sampled
+        records = [json.loads(line) for line
+                   in (out / "events.jsonl").read_text().splitlines()]
+        assert records[0]["type"] == "manifest"
+        assert records[0]["config"]["sample"] == 4
+        sampling = [r for r in records if r["type"] == "sampling"]
+        assert len(sampling) == 1
+        assert sampling[0]["sample"] == 4
+        assert sampling[0]["effective_rate"] == 0.25
+        assert 0.5 <= sampling[0]["estimated_fidelity"] < 1.0
+
+    def test_sampling_gauges_in_metrics(self, sampled):
+        paths, _ = sampled
+        prom = paths["metrics"].read_text()
+        assert "xplacer_sampling_stride 4" in prom
+        assert "xplacer_sampling_estimated_fidelity" in prom
+
+    def test_report_header_banner(self, sampled):
+        paths, _ = sampled
+        html = paths["report"].read_text()
+        assert "sampled tracing: 1-in-4 words" in html
+        assert "estimated fidelity" in html
+
+    def test_dense_run_has_no_sampling_artifacts(self, lulesh_report):
+        paths, out = lulesh_report
+        assert "sampled tracing" not in paths["report"].read_text()
+        types = {json.loads(line)["type"] for line
+                 in (out / "events.jsonl").read_text().splitlines()}
+        assert "sampling" not in types
+
+    def test_sampling_info_matches_fidelity_model(self):
+        info = Tracer(sample=16).sampling_info()
+        assert info["effective_rate"] == 1 / 16
+        assert info["estimated_fidelity"] == round(
+            max(0.5, 1 - 0.05 * np.log2(16)), 3)
+        assert Tracer().sampling_info() is None

@@ -1,0 +1,107 @@
+"""repro-top: scripted-mode rendering over live and finished shards."""
+
+import pytest
+
+from repro.stream.segments import SegmentWriter, segment_files
+from repro.stream.shard import run_streaming, split_stream
+from repro.stream.top import Monitor, main
+
+
+@pytest.fixture(scope="module")
+def shards(tmp_path_factory):
+    base = tmp_path_factory.mktemp("top")
+    run_streaming("pathfinder", "pcie", base / "whole", log_capacity=64)
+    return [str(p) for p in split_stream(base / "whole", base, 2)]
+
+
+class TestMonitor:
+    def test_frame_has_all_panels(self, shards):
+        frame = Monitor(shards, color=False).render_frame()
+        assert "repro-top — pathfinder on intel-pascal — 2 shard(s)" in frame
+        assert "2 complete" in frame
+        assert "counters" in frame and "events" in frame
+        assert "driver" in frame
+        assert "residency" in frame and "sim time" in frame
+        assert "heat       latest spilled epoch per allocation" in frame
+
+    def test_heat_strips_use_ascii_ramp_without_color(self, shards):
+        frame = Monitor(shards, color=False, width=16).render_frame()
+        strip_rows = [l for l in frame.splitlines()
+                      if "|" in l and l.lstrip().startswith("gpu")]
+        assert strip_rows  # pathfinder allocations render strips
+        assert "\x1b[" not in frame  # no ANSI without color
+
+    def test_color_mode_emits_ansi(self, shards):
+        frame = Monitor(shards, color=True).render_frame()
+        assert "\x1b[48;5;" in frame
+
+    def test_drilldown_panel(self, shards):
+        monitor = Monitor(shards, color=False, alloc="gpuWall")
+        frame = monitor.render_frame()
+        assert "drill-down gpuWall" in frame
+        assert any(l.lstrip().startswith("e") and "|" in l
+                   for l in frame.splitlines())
+        monitor = Monitor(shards, color=False, alloc="nope")
+        assert "(no heat spilled for this allocation)" \
+            in monitor.render_frame()
+
+    def test_waiting_for_missing_manifest(self, tmp_path):
+        frame = Monitor([tmp_path / "nothing"]).render_frame()
+        assert "waiting for manifest" in frame
+        assert "0 complete" in frame
+
+    def test_truncated_tail_segment_tolerated(self, shards, tmp_path):
+        import shutil
+
+        live = tmp_path / "live"
+        shutil.copytree(shards[0], live)
+        victim = segment_files(live)[-1]
+        victim.write_bytes(victim.read_bytes()[:25])
+        frame = Monitor([live]).render_frame()  # must not raise
+        assert "repro-top" in frame
+
+    def test_incremental_tailing_only_reads_new_segments(self, tmp_path):
+        writer = SegmentWriter(tmp_path, shard="s", workload="w",
+                               platform="p")
+        writer.write_segment([
+            {"type": "alloc_meta", "label": "x", "base": 0, "serial": 0,
+             "size": 64, "nwords": 16, "nbuckets": 4},
+            {"type": "heat_epoch", "label": "x", "base": 0, "serial": 0,
+             "epoch": 0, "counts": [[1, 0, 0, 0]] * 6, "sites": []},
+        ])
+        monitor = Monitor([tmp_path], color=False)
+        monitor.render_frame()
+        assert monitor.views[0].heat["x"][0] == 0
+        writer.write_segment([
+            {"type": "heat_epoch", "label": "x", "base": 0, "serial": 0,
+             "epoch": 1, "counts": [[0, 5, 0, 0]] * 6, "sites": []},
+        ])
+        monitor.render_frame()
+        epoch, vec = monitor.views[0].heat["x"]
+        assert epoch == 1 and vec[1] == 30
+        assert monitor.views[0]._read_segments == 2
+
+    def test_dropped_warning_row(self, tmp_path):
+        writer = SegmentWriter(tmp_path, shard="s", workload="w",
+                               platform="p")
+        writer.write_segment([{"type": "epoch", "epoch": 0, "t": 0.1}])
+        writer.finalize({"events_spilled": 3, "events_dropped": 7})
+        frame = Monitor([tmp_path]).render_frame()
+        assert "7 event(s) dropped from retention" in frame
+
+
+class TestMainScripted:
+    def test_frames_mode_renders_and_exits(self, shards, capsys):
+        rc = main(shards + ["--frames", "2", "--interval", "0",
+                            "--no-color", "--no-clear",
+                            "--alloc", "gpuWall"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("repro-top —") == 2
+        assert "drill-down gpuWall" in out
+        assert "\x1b[H\x1b[2J" not in out  # scripted mode never clears
+
+    def test_auto_exit_when_all_shards_complete(self, shards, capsys):
+        rc = main(shards + ["--interval", "0", "--no-color", "--no-clear"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("repro-top —") == 1
