@@ -1,0 +1,38 @@
+// Pathfinder-style DP with the classic ping-pong anti-pattern: each
+// kernel writes dst on the GPU, then the host immediately copies dst
+// back into src on the CPU, so both frontier arrays bounce between
+// processors every iteration.  The scenario behind the annotated
+// repro-debug transcript in EXPERIMENTS.md.
+#pragma xpl replace cudaMallocManaged
+cudaError_t trcMallocManaged(void** p, size_t sz);
+#pragma xpl replace kernel-launch
+void traceKernelLaunch(int g, int b, int s, int st, ...);
+
+__global__ void dynproc_kernel(int* wall, int* src, int* dst, int row, int cols) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    if (x < cols) {
+        int best = src[x];
+        if (x > 0) { int l = src[x - 1]; if (l < best) { best = l; } }
+        if (x < cols - 1) { int r = src[x + 1]; if (r < best) { best = r; } }
+        dst[x] = wall[row * cols + x] + best;
+    }
+}
+
+int main() {
+    int cols = 256;
+    int rows = 4;
+    int* wall;
+    int* src;
+    int* dst;
+    cudaMallocManaged((void**)&wall, rows * cols * 4);
+    cudaMallocManaged((void**)&src, cols * 4);
+    cudaMallocManaged((void**)&dst, cols * 4);
+    for (int i = 0; i < rows * cols; i++) { wall[i] = (i * 7 + 3) % 10; }
+    for (int x = 0; x < cols; x++) { src[x] = wall[x]; }
+    for (int row = 1; row < rows; row++) {
+        dynproc_kernel<<<8, 32>>>(wall, src, dst, row, cols);
+        for (int x = 0; x < cols; x++) { src[x] = dst[x]; }
+    }
+#pragma xpl diagnostic tracePrint(out; wall, src, dst)
+    return src[0];
+}

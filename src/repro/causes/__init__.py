@@ -23,7 +23,7 @@ from .capture import (
 )
 from .diff import DIFF_VERSION, diff_reports
 from .graph import REPORT_VERSION, CausalGraph, CEvent
-from .render import render_diff, render_report
+from .render import render_chain, render_diff, render_report
 
 __all__ = [
     "CausalGraph",
@@ -36,6 +36,7 @@ __all__ = [
     "load_report",
     "run_with_causes",
     "diff_reports",
+    "render_chain",
     "render_diff",
     "render_report",
 ]

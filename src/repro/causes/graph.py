@@ -227,7 +227,37 @@ class CausalGraph:
         }
 
     # ------------------------------------------------------------------ #
-    # critical path
+    # chains / critical path
+
+    def _node(self, ev: CEvent) -> dict[str, Any]:
+        """One event as a renderable chain-node dict."""
+        return {
+            "id": ev.id, "kind": ev.kind,
+            "t": round(ev.time, _ROUND),
+            "pages": ev.pages, "bytes": ev.nbytes,
+            "cost": round(ev.cost, _ROUND),
+            "alloc": ev.alloc, "site": ev.site,
+            "kernel": ev.kernel,
+            "category": self.category(ev),
+        }
+
+    def chain(self, event_id: int) -> list[dict[str, Any]]:
+        """The full cause chain ending at ``event_id``, root first.
+
+        Empty when the id is unknown (e.g. the event was evicted from a
+        ring-bounded log).  Rendered by
+        :func:`repro.causes.render.render_chain` -- the same node shape
+        the critical path uses, so ``repro-debug explain`` and
+        ``repro-why`` chains format identically.
+        """
+        nodes = []
+        cursor = self._by_id.get(event_id)
+        while cursor is not None:
+            nodes.append(self._node(cursor))
+            cursor = self._by_id.get(cursor.parent) if cursor.parent >= 0 \
+                else None
+        nodes.reverse()
+        return nodes
 
     def critical_path(self, max_nodes: int = 50) -> dict[str, Any]:
         """The longest-cost chain of causally linked events.
@@ -244,20 +274,7 @@ class CausalGraph:
             chain_cost[ev.id] = c
             if c > best_cost:
                 best_id, best_cost = ev.id, c
-        nodes = []
-        cursor = self._by_id.get(best_id)
-        while cursor is not None:
-            nodes.append({
-                "id": cursor.id, "kind": cursor.kind,
-                "t": round(cursor.time, _ROUND),
-                "pages": cursor.pages, "bytes": cursor.nbytes,
-                "cost": round(cursor.cost, _ROUND),
-                "alloc": cursor.alloc, "site": cursor.site,
-                "kernel": cursor.kernel,
-                "category": self.category(cursor),
-            })
-            cursor = self._by_id.get(cursor.parent) if cursor.parent >= 0 else None
-        nodes.reverse()
+        nodes = self.chain(best_id)
         truncated = max(0, len(nodes) - max_nodes)
         if truncated:
             nodes = nodes[-max_nodes:]

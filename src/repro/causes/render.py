@@ -10,7 +10,8 @@ import os
 import sys
 from typing import Any, Mapping
 
-__all__ = ["render_report", "render_diff", "format_cost", "format_bytes"]
+__all__ = ["render_report", "render_diff", "render_chain", "format_cost",
+           "format_bytes"]
 
 _GREEN = "\x1b[32m"
 _RED = "\x1b[31m"
@@ -70,6 +71,23 @@ def _blame_section(title: str, rows: list[Mapping[str, Any]], key: str,
     return lines
 
 
+def render_chain(nodes: list[Mapping[str, Any]]) -> list[str]:
+    """Fixed-width table lines for one cause chain (root first).
+
+    ``nodes`` are chain-node dicts as produced by
+    :meth:`~repro.causes.graph.CausalGraph.chain` /
+    :meth:`~repro.causes.graph.CausalGraph.critical_path`.  Shared by the
+    ``repro-why`` report and the interactive debugger's ``explain`` so
+    both produce byte-identical chain formatting.
+    """
+    body = [[str(n["id"]), n["kind"], n["category"],
+             str(n["pages"]), format_cost(n["cost"]),
+             n["alloc"] or "-", n["site"] or n["kernel"] or "-"]
+            for n in nodes]
+    return _table(body, ["id", "kind", "category", "pages", "cost",
+                         "alloc", "site/kernel"])
+
+
 def render_report(report: Mapping[str, Any], *, limit: int = 10) -> str:
     """Human-oriented text rendering of a causal report."""
     t = report.get("totals", {})
@@ -97,12 +115,7 @@ def render_report(report: Mapping[str, Any], *, limit: int = 10) -> str:
                      f"{cp.get('length', 0)} causally linked events"
                      + (f" (showing last {len(cp['events'])})"
                         if cp.get("truncated") else ""))
-        body = [[str(n["id"]), n["kind"], n["category"],
-                 str(n["pages"]), format_cost(n["cost"]),
-                 n["alloc"] or "-", n["site"] or n["kernel"] or "-"]
-                for n in cp["events"]]
-        lines += _table(body, ["id", "kind", "category", "pages", "cost",
-                               "alloc", "site/kernel"])
+        lines += render_chain(cp["events"])
     return "\n".join(lines).rstrip() + "\n"
 
 

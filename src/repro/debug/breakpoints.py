@@ -1,0 +1,162 @@
+"""Breakpoint and watchpoint tables for the interactive debugger.
+
+Five breakpoint kinds map onto the pipeline's pause points:
+
+* ``line`` / ``kernel`` fire from the interpreter's statement and
+  kernel-entry hooks;
+* ``fault`` / ``eviction`` fire from the unified-memory driver's event
+  log (deferred: the engine pauses at the next hook point after the
+  event is recorded);
+* ``pattern`` fires when a named anti-pattern is found at a
+  ``tracePrint`` diagnostic.
+
+Watchpoints are address ranges checked against every instrumented trace
+call; ``watch <label>`` resolves lazily when the allocation appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import AntiPattern, Finding
+from ..memsim import Event, EventKind
+
+__all__ = ["Breakpoint", "BreakpointTable", "PATTERN_ALIASES"]
+
+#: Friendly ``break pattern <name>`` spellings -> detector patterns.
+#: ``ping-pong`` is the causes-layer name for what the detectors call
+#: alternating access; both spellings reach the same detector.
+PATTERN_ALIASES = {
+    "alternating": AntiPattern.ALTERNATING_ACCESS,
+    "ping-pong": AntiPattern.ALTERNATING_ACCESS,
+    "low-density": AntiPattern.LOW_ACCESS_DENSITY,
+    "transfer-in": AntiPattern.UNNECESSARY_TRANSFER_IN,
+    "transfer-overwritten": AntiPattern.TRANSFER_OVERWRITTEN,
+    "transfer-out": AntiPattern.UNNECESSARY_TRANSFER_OUT,
+    "unused": AntiPattern.UNUSED_ALLOCATION,
+}
+
+
+@dataclass
+class Breakpoint:
+    """One breakpoint or watchpoint."""
+
+    bid: int
+    kind: str          #: ``line|kernel|fault|eviction|pattern|watch``
+    describe: str      #: display text for ``info break`` and stop banners
+    line: int = 0
+    name: str = ""     #: kernel name, pattern alias, or watch label
+    nth: int = 0       #: fault ordinal (0 = every fault)
+    lo: int = 0        #: watch range [lo, hi); 0,0 = unresolved label
+    hi: int = 0
+    enabled: bool = True
+    hits: int = 0
+
+
+@dataclass
+class BreakpointTable:
+    """Ordered table of breakpoints with kind-specific matchers."""
+
+    _next: int = 1
+    table: dict[int, Breakpoint] = field(default_factory=dict)
+
+    def _add(self, bp: Breakpoint) -> Breakpoint:
+        self.table[bp.bid] = bp
+        self._next += 1
+        return bp
+
+    # ------------------------------------------------------------------ #
+    # creation
+
+    def add_line(self, line: int) -> Breakpoint:
+        return self._add(Breakpoint(self._next, "line",
+                                    f"line {line}", line=line))
+
+    def add_kernel(self, name: str) -> Breakpoint:
+        return self._add(Breakpoint(self._next, "kernel",
+                                    f"kernel {name}", name=name))
+
+    def add_fault(self, nth: int = 0) -> Breakpoint:
+        what = f"page fault #{nth}" if nth else "every page fault"
+        return self._add(Breakpoint(self._next, "fault", what, nth=nth))
+
+    def add_eviction(self) -> Breakpoint:
+        return self._add(Breakpoint(self._next, "eviction", "eviction"))
+
+    def add_pattern(self, name: str) -> Breakpoint:
+        if name not in PATTERN_ALIASES:
+            known = ", ".join(sorted(PATTERN_ALIASES))
+            raise ValueError(f"unknown anti-pattern {name!r} (known: {known})")
+        return self._add(Breakpoint(self._next, "pattern",
+                                    f"anti-pattern {name}", name=name))
+
+    def add_watch(self, *, label: str = "", lo: int = 0,
+                  hi: int = 0) -> Breakpoint:
+        what = (f"watch {label}" if label
+                else f"watch [{lo:#x},{hi:#x})")
+        return self._add(Breakpoint(self._next, "watch", what,
+                                    name=label, lo=lo, hi=hi))
+
+    def remove(self, bid: int) -> bool:
+        return self.table.pop(bid, None) is not None
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def __iter__(self):
+        return iter(sorted(self.table.values(), key=lambda b: b.bid))
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def _enabled(self, kind: str):
+        return (b for b in self if b.enabled and b.kind == kind)
+
+    def match_line(self, line: int) -> Breakpoint | None:
+        for bp in self._enabled("line"):
+            if bp.line == line:
+                return bp
+        return None
+
+    def match_kernel(self, name: str) -> Breakpoint | None:
+        for bp in self._enabled("kernel"):
+            if bp.name == name:
+                return bp
+        return None
+
+    def match_event(self, ev: Event, fault_ordinal: int) -> Breakpoint | None:
+        """A fault/eviction breakpoint matching driver event ``ev``.
+
+        :param fault_ordinal: 1-based count of PAGE_FAULT events so far
+            (including ``ev`` itself when it is a fault).
+        """
+        if ev.kind is EventKind.PAGE_FAULT:
+            for bp in self._enabled("fault"):
+                if bp.nth in (0, fault_ordinal):
+                    return bp
+        elif ev.kind is EventKind.EVICTION:
+            for bp in self._enabled("eviction"):
+                return bp
+        return None
+
+    def match_pattern(self, findings: list[Finding]
+                      ) -> tuple[Breakpoint | None, list[Finding]]:
+        """The first pattern breakpoint any finding satisfies."""
+        for bp in self._enabled("pattern"):
+            want = PATTERN_ALIASES[bp.name]
+            hits = [f for f in findings if f.pattern is want]
+            if hits:
+                return bp, hits
+        return None, []
+
+    def match_watch(self, addr: int, size: int) -> Breakpoint | None:
+        for bp in self._enabled("watch"):
+            if bp.hi > bp.lo and addr < bp.hi and addr + size > bp.lo:
+                return bp
+        return None
+
+    def resolve_watch_labels(self, label: str, lo: int, hi: int) -> None:
+        """Bind any pending ``watch <label>`` entries to a live range."""
+        for bp in self.table.values():
+            if bp.kind == "watch" and bp.name == label and bp.hi <= bp.lo:
+                bp.lo, bp.hi = lo, hi

@@ -1,0 +1,221 @@
+"""Command table for the ``repro-debug`` REPL.
+
+Every command is a plain function taking ``(session, args, rest)`` --
+``args`` the whitespace-split operands, ``rest`` the raw remainder for
+expression commands.  Handlers either print via ``session.write`` and
+return ``None`` (stay in the command loop) or return a resume action
+string the loop hands back to the engine.
+"""
+
+from __future__ import annotations
+
+from ..interp import InterpError
+
+__all__ = ["HELP", "RESUME_ACTIONS", "execute"]
+
+#: Actions the command loop forwards to the engine instead of handling.
+RESUME_ACTIONS = frozenset({"step", "next", "continue", "finish", "quit",
+                            "run"})
+
+HELP = """\
+execution
+  run                     start the program (stops at breakpoints)
+  step | s                execute one statement (steps into calls)
+  next | n                execute one statement (steps over calls)
+  finish                  run until the current function returns
+  continue | c            resume until the next stop
+  quit | q                end the session
+breakpoints
+  break LINE              stop at a source line
+  break kernel NAME       stop when kernel NAME starts executing
+  break fault [N]         stop at the Nth page fault (every fault if no N)
+  break evict             stop at the first eviction
+  break pattern NAME      stop when an anti-pattern fires at a tracePrint
+                          (alternating, ping-pong, low-density, transfer-in,
+                          transfer-overwritten, transfer-out, unused)
+  watch LABEL             stop on any traced access to an allocation
+  watch ADDR SIZE         stop on traced accesses overlapping [ADDR,ADDR+SIZE)
+  delete ID               remove a breakpoint
+  info break              list breakpoints
+  info allocs             list traced allocations
+inspection
+  res LABEL               per-page CPU/GPU residency of an allocation
+  heat LABEL              heat strips (closed epochs + live accumulator)
+  events [K]              last K driver events (default 10)
+  bt                      interpreter backtrace with kernel thread coords
+  explain [SPEC]          cause chain of an event: id, 'last', a category
+                          (e.g. ping-pong), an event kind, or an allocation
+  blame [LIMIT]           full causal blame report for the run so far
+  p EXPR                  evaluate a C expression in the paused scope"""
+
+
+def execute(session, line: str) -> str | None:
+    """Run one command line; returns a resume action or ``None``."""
+    parts = line.split()
+    if not parts:
+        return None
+    name, args = parts[0], parts[1:]
+    rest = line[len(parts[0]):].strip()
+    handler = _COMMANDS.get(name)
+    if handler is None:
+        session.write(f"undefined command {name!r} -- try 'help'")
+        return None
+    try:
+        return handler(session, args, rest)
+    except (ValueError, KeyError, IndexError, InterpError) as exc:
+        session.write(str(exc) or type(exc).__name__)
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# handlers
+
+def _cmd_help(session, args, rest):
+    session.write(HELP)
+
+
+def _resume(action):
+    def handler(session, args, rest):
+        return action
+    return handler
+
+
+def _cmd_break(session, args, rest):
+    bps = session.engine.breakpoints
+    if not args:
+        session.write("break what? -- try 'help'")
+        return None
+    kind = args[0]
+    if kind.isdigit():
+        bp = bps.add_line(int(kind))
+    elif kind == "kernel":
+        if len(args) < 2:
+            session.write("break kernel needs a kernel name")
+            return None
+        bp = bps.add_kernel(args[1])
+    elif kind == "fault":
+        nth = int(args[1]) if len(args) > 1 else 0
+        bp = bps.add_fault(nth)
+    elif kind in ("evict", "eviction"):
+        bp = bps.add_eviction()
+    elif kind == "pattern":
+        if len(args) < 2:
+            session.write("break pattern needs an anti-pattern name")
+            return None
+        bp = bps.add_pattern(args[1])
+    else:
+        session.write(f"cannot parse breakpoint spec {rest!r} -- try 'help'")
+        return None
+    session.write(f"breakpoint {bp.bid}: {bp.describe}")
+
+
+def _cmd_watch(session, args, rest):
+    engine = session.engine
+    bps = engine.breakpoints
+    if not args:
+        session.write("watch what? -- an allocation label or ADDR SIZE")
+        return None
+    if len(args) >= 2:
+        lo = int(args[0], 0)
+        hi = lo + int(args[1], 0)
+        bp = bps.add_watch(lo=lo, hi=hi)
+    else:
+        label = args[0]
+        bp = bps.add_watch(label=label)
+        alloc = engine.find_alloc(label)
+        if alloc is not None:
+            bps.resolve_watch_labels(label, alloc.base,
+                                     alloc.base + alloc.size)
+        else:
+            session.write(f"(allocation {label!r} not traced yet -- the "
+                          "watchpoint binds when it appears)")
+    session.write(f"watchpoint {bp.bid}: {bp.describe}")
+
+
+def _cmd_delete(session, args, rest):
+    if not args:
+        session.write("delete which breakpoint id?")
+        return None
+    bid = int(args[0])
+    if session.engine.breakpoints.remove(bid):
+        session.write(f"deleted breakpoint {bid}")
+    else:
+        session.write(f"no breakpoint {bid}")
+
+
+def _cmd_info(session, args, rest):
+    what = args[0] if args else "break"
+    if what in ("break", "breakpoints", "b"):
+        _write_lines(session, session.engine.break_lines())
+    elif what in ("allocs", "allocations"):
+        _write_lines(session, session.engine.alloc_lines())
+    else:
+        session.write("info what? -- 'break' or 'allocs'")
+
+
+def _cmd_res(session, args, rest):
+    if not args:
+        session.write("res which allocation? (see 'info allocs')")
+        return None
+    _write_lines(session, session.engine.residency_lines(args[0]))
+
+
+def _cmd_heat(session, args, rest):
+    if not args:
+        session.write("heat which allocation? (see 'info allocs')")
+        return None
+    _write_lines(session, session.engine.heat_lines(
+        args[0], color=session.color))
+
+
+def _cmd_events(session, args, rest):
+    k = int(args[0]) if args else 10
+    _write_lines(session, session.engine.event_lines(k))
+
+
+def _cmd_bt(session, args, rest):
+    _write_lines(session, session.engine.backtrace_lines())
+
+
+def _cmd_explain(session, args, rest):
+    _write_lines(session, session.engine.explain_lines(rest or "last"))
+
+
+def _cmd_blame(session, args, rest):
+    limit = int(args[0]) if args else 10
+    session.out.write(session.engine.blame_text(limit=limit))
+
+
+def _cmd_print(session, args, rest):
+    if not rest:
+        session.write("p what? -- a C expression")
+        return None
+    value = session.engine.eval_expr(rest)
+    session.write(f"= {value}")
+
+
+def _write_lines(session, lines):
+    for line in lines:
+        session.write(line)
+
+
+_COMMANDS = {
+    "help": _cmd_help,
+    "run": _resume("run"), "r": _resume("run"),
+    "step": _resume("step"), "s": _resume("step"),
+    "next": _resume("next"), "n": _resume("next"),
+    "finish": _resume("finish"),
+    "continue": _resume("continue"), "c": _resume("continue"),
+    "quit": _resume("quit"), "q": _resume("quit"), "exit": _resume("quit"),
+    "break": _cmd_break, "b": _cmd_break,
+    "watch": _cmd_watch,
+    "delete": _cmd_delete, "d": _cmd_delete,
+    "info": _cmd_info,
+    "res": _cmd_res,
+    "heat": _cmd_heat,
+    "events": _cmd_events,
+    "bt": _cmd_bt, "where": _cmd_bt,
+    "explain": _cmd_explain, "why": _cmd_explain,
+    "blame": _cmd_blame,
+    "p": _cmd_print, "print": _cmd_print,
+}

@@ -1,0 +1,160 @@
+"""The ``repro-debug`` session: prompt loop, stop banners, transcripts.
+
+A :class:`DebugSession` owns one :class:`~repro.debug.engine.DebugEngine`
+and installs itself as its ``on_pause`` handler, so the command loop runs
+*inside* the interpreter's pause callback -- no threads, and every
+command sees the program frozen mid-statement.
+
+Two input modes share all code paths:
+
+* **interactive** -- commands come from stdin with a prompt;
+* **scripted** (``--script``) -- commands come from a list and every
+  prompt+command is echoed into the output, producing a deterministic
+  transcript (the simulation has no wall-clock or randomness, so two
+  runs of the same script byte-match).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from ..interp import InterpError
+from . import commands
+from .engine import DebugEngine, DebugQuit, StopInfo
+
+__all__ = ["DebugSession"]
+
+
+class DebugSession:
+    """One interactive (or scripted) debugging session."""
+
+    def __init__(self, engine: DebugEngine, *, out: IO[str] | None = None,
+                 script: list[str] | None = None, color: bool = False,
+                 prompt: str = "(repro-debug) ") -> None:
+        self.engine = engine
+        self.out = out if out is not None else sys.stdout
+        self.color = color
+        self.prompt = prompt
+        self._script = list(script) if script is not None else None
+        self._script_pos = 0
+        engine.on_pause = self._on_pause
+
+    # ------------------------------------------------------------------ #
+    # I/O
+
+    def write(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    def _read(self) -> str | None:
+        """The next command line, or ``None`` on end of input."""
+        if self._script is not None:
+            while self._script_pos < len(self._script):
+                line = self._script[self._script_pos]
+                self._script_pos += 1
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue  # blank/comment script lines are not echoed
+                self.out.write(self.prompt + stripped + "\n")
+                return stripped
+            return None
+        self.out.write(self.prompt)
+        try:
+            self.out.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed sink
+            pass
+        line = sys.stdin.readline()
+        if not line:
+            self.out.write("\n")
+            return None
+        return line.strip()
+
+    # ------------------------------------------------------------------ #
+    # top-level loop
+
+    def interact(self) -> None:
+        """Read commands until quit / end of input.
+
+        Resume commands before ``run`` (and after exit) are rejected with
+        a message, like gdb; ``run`` executes the program with the pause
+        machinery live.
+        """
+        while True:
+            line = self._read()
+            if line is None:
+                return
+            action = commands.execute(self, line)
+            if action is None:
+                continue
+            if action == "quit":
+                return
+            if action == "run":
+                if self._run():
+                    return
+                continue
+            self.write("the program is not being run -- 'run' starts it")
+
+    def _run(self) -> bool:
+        """Execute the program; returns True when the session should end."""
+        engine = self.engine
+        if engine.finished:
+            self.write("the program has already exited -- "
+                       "restart repro-debug to rerun")
+            return False
+        try:
+            value = engine.run()
+        except DebugQuit:
+            self.write("[session ended by quit; program not finished]")
+            return True
+        except InterpError as exc:
+            self.write(f"[program error: {exc}]")
+            return False
+        self.write(f"[program exited with value {value}]")
+        return False
+
+    # ------------------------------------------------------------------ #
+    # pause handling
+
+    def _on_pause(self, engine: DebugEngine, stop: StopInfo) -> str:
+        self._banner(stop)
+        while True:
+            line = self._read()
+            if line is None:
+                return "quit"
+            action = commands.execute(self, line)
+            if action is None:
+                continue
+            if action == "run":
+                self.write("the program is already running")
+                continue
+            return action
+
+    def _banner(self, stop: StopInfo) -> None:
+        engine = self.engine
+        loc = f"{engine.source_name}:{stop.line}"
+        if stop.thread is not None:
+            loc += (f" [blockIdx.x={stop.thread[0]}"
+                    f" threadIdx.x={stop.thread[1]}]")
+        bp = stop.bp
+        if stop.reason == "breakpoint":
+            self.write(f"breakpoint {bp.bid} ({bp.describe}) at {loc}")
+        elif stop.reason == "kernel":
+            self.write(f"breakpoint {bp.bid}: entering {stop.detail}"
+                       f" at {loc}")
+        elif stop.reason == "event":
+            ev = stop.event
+            self.write(f"breakpoint {bp.bid} ({bp.describe}):"
+                       f" {ev.kind.value} on {ev.device.name},"
+                       f" {ev.pages} page(s), {ev.detail} at {loc}")
+        elif stop.reason == "pattern":
+            self.write(f"breakpoint {bp.bid} ({bp.describe}) fired at {loc}")
+            for f in stop.findings:
+                self.write(f"  {f.pattern.value}: {f.name} -- {f.detail}")
+        elif stop.reason == "watchpoint":
+            self.write(f"watchpoint {bp.bid} ({bp.describe}):"
+                       f" {stop.detail} at {loc}")
+        else:  # step / next / finish
+            self.write(f"stopped at {loc}")
+        text = engine.source_line(stop.line)
+        if text:
+            self.write(f"  {stop.line:>4}  {text}")

@@ -13,7 +13,7 @@ import io
 import sys
 from pathlib import Path
 
-from . import figures, tables  # noqa: F401  (importing registers experiments)
+from . import figures, spatter, tables  # noqa: F401  (importing registers experiments)
 from .base import EXPERIMENTS, ExperimentResult
 
 __all__ = ["main", "rows_to_csv", "PLACEMENT_PAIRS"]

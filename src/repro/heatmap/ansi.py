@@ -18,7 +18,7 @@ import numpy as np
 
 from .store import AllocationHeat, HeatStore
 
-__all__ = ["render_alloc", "render_store", "supports_color"]
+__all__ = ["render_alloc", "render_store", "render_strip", "supports_color"]
 
 #: ASCII density ramp, low to high (space = untouched).
 ASCII_RAMP = " .:-=+*#%@"
@@ -58,6 +58,16 @@ def _strip(row: np.ndarray, peak: int, color: bool) -> str:
         return "".join(cells) + _RESET
     lev = _levels(row, peak, len(ASCII_RAMP))
     return "".join(ASCII_RAMP[v] for v in lev)
+
+
+def render_strip(row: np.ndarray, peak: int, *, color: bool = False) -> str:
+    """One bucket row as an intensity strip (public single-row renderer).
+
+    The strip the epoch rows of :func:`render_alloc` use, exposed for
+    consumers that render live (not yet frozen) heat -- the interactive
+    debugger's ``heat`` command and the stream monitor.
+    """
+    return _strip(row, peak, color)
 
 
 def render_alloc(heat: AllocationHeat, *, color: bool = False,

@@ -207,6 +207,15 @@ class AllocationHeat:
             return np.stack([e.heat for e in self.epochs])
         return np.stack([e.channel(channel) for e in self.epochs])
 
+    def current_heat(self) -> np.ndarray:
+        """Combined per-bucket heat of the *open* (not yet frozen) epoch.
+
+        The live counterpart of :attr:`EpochHeat.heat`, used by consumers
+        that render mid-epoch state -- the interactive debugger's ``heat``
+        command pairs it with the closed-epoch rows.
+        """
+        return self._counts.sum(axis=0)
+
     def current_top_sites(self, k: int = 5) -> list[tuple[SourceSite, int]]:
         """Top sites of the *open* accumulator (for diagnostics output)."""
         totals = [(s, int(v.sum())) for s, v in self._sites.items()]

@@ -6,7 +6,8 @@ interpreter binds to the XPlacer runtime library and the simulated CUDA
 runtime.
 """
 
-from .interpreter import Interpreter, run_program
+from .interpreter import Interpreter, InterpHooks, run_program
 from .values import InterpError, LValue
 
-__all__ = ["Interpreter", "run_program", "InterpError", "LValue"]
+__all__ = ["Interpreter", "InterpHooks", "run_program", "InterpError",
+           "LValue"]

@@ -42,7 +42,7 @@ from .values import (
     store,
 )
 
-__all__ = ["Interpreter", "run_program"]
+__all__ = ["Interpreter", "InterpHooks", "run_program"]
 
 _TRACE_NAMES = set(TRACE_FNS.values())
 
@@ -56,6 +56,30 @@ _MEMCPY_KINDS = {
 
 #: Names accepted as advice constants in interpreted source.
 _ADVICE_NAMES = {a.name: a for a in cudaMemoryAdvise}
+
+
+class InterpHooks:
+    """Pause-capable observation points of one :class:`Interpreter`.
+
+    The debugger (``repro.debug``) installs a subclass on
+    ``Interpreter.hooks``; every callback runs synchronously on the
+    interpreter's own stack, so a hook may block (run a command loop) and
+    the program resumes exactly where it paused when the hook returns.
+    The default implementations do nothing.
+    """
+
+    def on_stmt(self, interp: "Interpreter", stmt: A.Stmt, env) -> None:
+        """Before each non-block statement executes.  ``interp._line`` is
+        already the statement's source line."""
+
+    def on_trace(self, interp: "Interpreter", fn: str, addr: int,
+                 size: int, site: SourceSite | None) -> None:
+        """After each instrumented ``trace*`` call completed (shadow and
+        any driver work done), before the traced access's value is used."""
+
+    def on_kernel_entry(self, interp: "Interpreter", fn: A.FunctionDef,
+                        grid: int, block: int) -> None:
+        """Before a kernel launch starts executing its thread loop."""
 
 
 class _Env:
@@ -113,6 +137,10 @@ class Interpreter:
         self.functions = {f.name: f for f in unit.functions()}
         self.globals = _Env()
         self._thread: dict[str, int] = {}
+        #: Optional :class:`InterpHooks` (the interactive debugger).
+        self.hooks: InterpHooks | None = None
+        #: ``(function name, call-site line)`` frames, outermost first.
+        self.call_stack: list[tuple[str, int]] = []
         #: Size-keyed pool of recycled stack cells plus the stack of
         #: per-call frames feeding it (see :meth:`_alloc_local`).
         self._cell_pool: dict[int, list] = {}
@@ -162,6 +190,7 @@ class Interpreter:
         space = self._space
         frame: list = []
         self._frames.append(frame)
+        self.call_stack.append((fn.name, self._line))
         try:
             for param, value in zip(fn.params, args):
                 lv = self._alloc_local(param.name, param.ctype)
@@ -173,6 +202,7 @@ class Interpreter:
                 return r.value
             return None
         finally:
+            self.call_stack.pop()
             self._frames.pop()
             pool = self._cell_pool
             for alloc in frame:
@@ -216,7 +246,29 @@ class Interpreter:
             handler = _mro_fallback(_EXEC, s.__class__)
             if handler is None:
                 raise InterpError(f"cannot execute {type(s).__name__}")
-        handler(self, s, env)
+        hooks = self.hooks
+        if hooks is not None and handler is not _EXEC_BLOCK:
+            hooks.on_stmt(self, s, env)
+        try:
+            handler(self, s, env)
+        except InterpError as exc:
+            self._decorate_error(exc)
+            raise
+
+    def _decorate_error(self, exc: InterpError) -> None:
+        """Attach source/thread context to ``exc`` (innermost wins)."""
+        if exc.site is not None:
+            return
+        exc.site = SourceSite(self.source_name, self._line)
+        exc.stack = tuple(name for name, _ in self.call_stack)
+        where = f"{self.source_name}:{self._line}"
+        t = self._thread
+        if t:
+            exc.thread = (t.get("blockIdx_x", 0), t.get("threadIdx_x", 0))
+            where += (f" [blockIdx.x={exc.thread[0]}"
+                      f" threadIdx.x={exc.thread[1]}]")
+        if exc.args and isinstance(exc.args[0], str):
+            exc.args = (f"{exc.args[0]} (at {where})",) + exc.args[1:]
 
     def _exec_block(self, s: A.Block, env: _Env) -> None:
         inner = env.child()
@@ -440,10 +492,15 @@ class Interpreter:
         lv = self.lvalue(inner, env)
         size = max(1, lv.ctype.size)
         trace = self._trace_fns[fn]
+        site = None
         if self.tracer.heat is not None:
-            trace(lv.addr, size, site=SourceSite(self.source_name, self._line))
+            site = SourceSite(self.source_name, self._line)
+            trace(lv.addr, size, site=site)
         else:
             trace(lv.addr, size)
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_trace(self, fn, lv.addr, size, site)
         return lv
 
     # -- operators ------------------------------------------------------ #
@@ -584,6 +641,10 @@ class Interpreter:
 
     def _run_kernel(self, fn: A.FunctionDef, grid: int, block: int,
                     args: list[Any]) -> None:
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_kernel_entry(self, fn, grid, block)
+
         def body(ctx) -> None:
             # One dict mutated per simulated thread: the builtins are read
             # through ``_thread.get`` so identity never leaks.
@@ -754,6 +815,10 @@ _EXEC = {
     A.Pragma: Interpreter._exec_nop,
     A.Directive: Interpreter._exec_nop,
 }
+
+#: Block handler identity: blocks carry no line of their own, so the
+#: per-statement hook skips them (it fires for every *leaf* statement).
+_EXEC_BLOCK = Interpreter._exec_block
 
 _LVALUE = {
     A.Ident: Interpreter._lvalue_ident,

@@ -22,7 +22,26 @@ __all__ = [
 
 
 class InterpError(RuntimeError):
-    """A runtime failure of the interpreted program."""
+    """A runtime failure of the interpreted program.
+
+    When the failure unwinds through ``Interpreter.exec_stmt`` the
+    interpreter decorates the exception (once, innermost statement wins)
+    with execution context:
+
+    * ``site`` -- the :class:`~repro.heatmap.store.SourceSite` of the
+      statement that was executing (``None`` for failures outside
+      statement execution);
+    * ``thread`` -- ``(blockIdx.x, threadIdx.x)`` when the failure
+      happened inside a kernel, else ``None``;
+    * ``stack`` -- function names on the interpreter call stack,
+      outermost first.
+
+    The original message is preserved as a prefix of ``args[0]``.
+    """
+
+    site = None
+    thread: tuple[int, int] | None = None
+    stack: tuple[str, ...] = ()
 
 
 class ReturnSignal(Exception):

@@ -178,6 +178,8 @@ def trace_print(
                                          sample=tracer.sample))
 
     result = DiagnosticResult(epoch=tracer.epoch, reports=reports)
+    for hook in tuple(tracer.diagnostic_hooks):
+        hook(result)
     if out is not None:
         out.write(format_text(result))
     if reset:

@@ -99,6 +99,11 @@ class Tracer(ObserverBase):
         #: Called with the number of the epoch that just closed whenever
         #: :meth:`advance_epoch` runs (telemetry epoch markers).
         self.epoch_hooks: list = []
+        #: Called with each :class:`~repro.runtime.diagnostics.DiagnosticResult`
+        #: *before* the diagnostic resets the epoch -- live state (shadow,
+        #: open heat accumulators) is still inspectable.  The interactive
+        #: debugger hangs anti-pattern breakpoints here.
+        self.diagnostic_hooks: list = []
         #: Sampled shadow mode: record 1-in-N words (strided over spans,
         #: 1-in-N calls for sub-stride accesses).  Diagnostics scale the
         #: counts back up; results are *estimates* -- see EXPERIMENTS.md.

@@ -97,6 +97,17 @@ def _nn(session: Session) -> WorkloadRun:
     return NearestNeighbor(session, records=4096).run()
 
 
+def _spatter_stride(session: Session) -> WorkloadRun:
+    from ..workloads.spatter import SpatterWorkload, uniform_stride
+    return SpatterWorkload(session, uniform_stride(8, count=64)).run()
+
+
+def _spatter_indirect(session: Session) -> WorkloadRun:
+    from ..workloads.spatter import SpatterWorkload, indirection
+    return SpatterWorkload(session, indirection(length=256,
+                                                spread=65536)).run()
+
+
 #: name -> runner(session) -> WorkloadRun, at diagnosis-friendly sizes.
 WORKLOADS: dict[str, Callable[[Session], WorkloadRun]] = {
     "pathfinder": _pathfinder,
@@ -110,6 +121,8 @@ WORKLOADS: dict[str, Callable[[Session], WorkloadRun]] = {
     "gaussian": _gaussian,
     "lud": _lud,
     "nn": _nn,
+    "spatter-stride": _spatter_stride,
+    "spatter-indirect": _spatter_indirect,
 }
 
 

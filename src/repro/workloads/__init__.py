@@ -1,5 +1,23 @@
 """Benchmark applications ported to the simulated CUDA runtime."""
 
 from .base import Session, WorkloadRun, make_session
+from .spatter import (
+    SpatterSpec,
+    SpatterWorkload,
+    indirection,
+    mostly_stride_1,
+    to_mini_cuda,
+    uniform_stride,
+)
 
-__all__ = ["Session", "WorkloadRun", "make_session"]
+__all__ = [
+    "Session",
+    "WorkloadRun",
+    "make_session",
+    "SpatterSpec",
+    "SpatterWorkload",
+    "indirection",
+    "mostly_stride_1",
+    "to_mini_cuda",
+    "uniform_stride",
+]

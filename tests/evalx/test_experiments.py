@@ -11,7 +11,7 @@ class TestRegistry:
     def test_every_paper_artifact_has_an_experiment(self):
         assert set(EXPERIMENTS) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "tab2", "tab3",
+            "fig11", "tab2", "tab3", "spatter",
         }
 
     def test_experiments_carry_titles(self):

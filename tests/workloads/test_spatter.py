@@ -1,0 +1,127 @@
+"""Tests for the Spatter-style gather/scatter pattern generator."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import AntiPattern
+from repro.workloads.base import make_session
+from repro.workloads.spatter import (
+    SpatterSpec,
+    SpatterWorkload,
+    indirection,
+    mostly_stride_1,
+    to_mini_cuda,
+    uniform_stride,
+)
+
+
+class TestSpecGeometry:
+    def test_flat_indices_follow_spatter_semantics(self):
+        spec = SpatterSpec(name="t", kind="gather", pattern=(0, 2, 4),
+                           delta=6, count=3)
+        assert spec.flat_indices().tolist() == [
+            0, 2, 4, 6, 8, 10, 12, 14, 16]
+        assert spec.n == 9
+        assert spec.data_length == 17
+
+    def test_uniform_stride_builder(self):
+        spec = uniform_stride(8, length=4, count=2)
+        assert spec.pattern == (0, 8, 16, 24)
+        assert spec.delta == 32
+        assert spec.flat_indices().tolist() == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_mostly_stride_1_has_one_jump_per_window(self):
+        spec = mostly_stride_1(length=4, jump=100, count=2)
+        assert spec.pattern == (0, 1, 2, 103)
+        diffs = np.diff(spec.flat_indices()).tolist()
+        assert diffs == [1, 1, 101, 1, 1, 1, 101]  # dense runs + jumps
+
+    def test_indirection_is_seed_deterministic(self):
+        a = indirection(length=32, spread=1000, seed=7)
+        b = indirection(length=32, spread=1000, seed=7)
+        c = indirection(length=32, spread=1000, seed=8)
+        assert a.pattern == b.pattern
+        assert a.pattern != c.pattern
+        assert all(0 <= p < 1000 for p in a.pattern)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gather|scatter"):
+            SpatterSpec(name="x", kind="sort", pattern=(0,), delta=1, count=1)
+        with pytest.raises(ValueError):
+            SpatterSpec(name="x", kind="gather", pattern=(), delta=1, count=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            SpatterSpec(name="x", kind="gather", pattern=(-1,), delta=1,
+                        count=1)
+
+
+class TestSpecJson:
+    def test_round_trip(self):
+        spec = mostly_stride_1(length=8, jump=32, count=4, kind="scatter")
+        assert SpatterSpec.from_json(spec.to_json()) == spec
+
+    def test_accepts_spatter_style_input(self):
+        spec = SpatterSpec.from_json(
+            '[{"kernel": "Gather", "pattern": [0, 4, 8], "count": 2}]')
+        assert spec.kind == "gather"
+        assert spec.delta == 3  # defaults to the pattern length
+        assert spec.count == 2
+
+
+class TestWorkload:
+    def test_uniform_gather_alternates(self):
+        session = make_session(trace=True, materialize=True)
+        run = SpatterWorkload(session, uniform_stride(
+            8, length=16, count=16)).run()
+        assert run.name == "spatter"
+        assert run.variant == "gather:uniform-8"
+        d = run.diagnoses[-1]
+        names = {f.name for f in d.of(AntiPattern.ALTERNATING_ACCESS)}
+        assert "res" in names  # CPU consumes the dense side every iteration
+        assert run.stats["fault_groups"] > 0
+
+    def test_indirection_footprint_is_sparse(self):
+        session = make_session(trace=True)
+        run = SpatterWorkload(session, indirection(
+            length=64, spread=65536)).run()
+        assert run.variant == "gather-indirect:indirect-1"
+        assert run.stats["footprint_density"] < 0.01
+
+    def test_scatter_variant_runs(self):
+        session = make_session(trace=True, materialize=True)
+        run = SpatterWorkload(session, uniform_stride(
+            4, length=8, count=8, kind="scatter")).run()
+        assert run.variant.startswith("scatter:")
+        assert run.stats["accesses_per_kernel"] == 64
+
+    def test_gather_values_match_pattern(self):
+        session = make_session(trace=True, materialize=True)
+        spec = uniform_stride(4, length=8, count=4)
+        wl = SpatterWorkload(session, spec)
+        wl.run()
+        res = wl.res.typed(np.int32).read(0, spec.n)
+        # data[i] = i, so each gather reads the indices themselves; the
+        # CPU bump after the final launch leaves exactly one +1
+        assert res.tolist() == (spec.flat_indices() + 1).tolist()
+
+
+class TestMiniCudaEmission:
+    def test_generated_program_debugs_end_to_end(self):
+        from repro.debug import DebugEngine
+        spec = uniform_stride(8, length=8, count=4)
+        engine = DebugEngine(to_mini_cuda(spec),
+                             source_name="spatter.cu", out=io.StringIO())
+        value = engine.run()
+        # gather of data[i]=i sums the flat indices, twice around the loop
+        assert value == int(spec.flat_indices().sum())
+        assert set(engine.allocs) == {"data", "idx", "res"}
+
+    def test_emission_is_deterministic(self):
+        spec = indirection(length=16, spread=512, seed=3)
+        assert to_mini_cuda(spec) == to_mini_cuda(spec)
+
+    def test_oversized_patterns_rejected(self):
+        spec = uniform_stride(1, length=8, count=128)  # 1024 accesses
+        with pytest.raises(ValueError, match="at most"):
+            to_mini_cuda(spec)
