@@ -197,24 +197,43 @@ class CausalGraph:
     # rollups
 
     def blame(self) -> dict[str, Any]:
-        """All blame tables at once (single pass over the events)."""
+        """All blame tables at once (single pass over the events).
+
+        Runs recorded with live phase tracking carry ``phase`` marker
+        events; those scope an additional ``by_phase`` table (which
+        detected access-pattern phase each event's cost landed in) and
+        are excluded from every other table -- they are annotations, not
+        driver work.  Runs without markers get no ``by_phase`` key, so
+        pre-phase reports are byte-identical.
+        """
         by_site: dict[str, dict[str, float]] = {}
         by_alloc: dict[str, dict[str, float]] = {}
         by_kernel: dict[str, dict[str, float]] = {}
         by_category: dict[str, dict[str, float]] = {}
+        by_phase: dict[str, dict[str, float]] = {}
+        phase, saw_marker = "phase-0", False
         total = _totals()
         for ev in self.events:
+            if ev.kind == "phase":
+                saw_marker = True
+                if ev.detail.startswith("phase_begin"):
+                    for tok in ev.detail.split():
+                        if tok.startswith("phase="):
+                            phase = f"phase-{tok[len('phase='):]}"
+                            break
+                continue
             _bump(total, ev)
             _bump(by_site.setdefault(ev.site or "<unattributed>", _totals()), ev)
             _bump(by_alloc.setdefault(ev.alloc or "<anonymous>", _totals()), ev)
             if ev.kernel:
                 _bump(by_kernel.setdefault(ev.kernel, _totals()), ev)
             _bump(by_category.setdefault(self.category(ev), _totals()), ev)
+            _bump(by_phase.setdefault(phase, _totals()), ev)
         alloc_extra = {
             label: {"alloc_site": self.alloc_sites.get(label, "")}
             for label in by_alloc
         }
-        return {
+        out = {
             "totals": {"events": int(total["events"]),
                        "pages": int(total["pages"]),
                        "bytes": int(total["bytes"]),
@@ -225,6 +244,9 @@ class CausalGraph:
             "by_kernel": _rows(by_kernel, "kernel"),
             "by_category": _rows(by_category, "category"),
         }
+        if saw_marker:
+            out["by_phase"] = _rows(by_phase, "phase")
+        return out
 
     # ------------------------------------------------------------------ #
     # chains / critical path

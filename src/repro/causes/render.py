@@ -109,6 +109,8 @@ def render_report(report: Mapping[str, Any], *, limit: int = 10) -> str:
                             "category", limit)
     lines += _blame_section("blame by kernel", report.get("by_kernel", []),
                             "kernel", limit)
+    lines += _blame_section("blame by phase", report.get("by_phase", []),
+                            "phase", limit)
     cp = report.get("critical_path", {})
     if cp.get("events"):
         lines.append(f"critical path: {format_cost(cp.get('cost', 0.0))} over "

@@ -54,5 +54,36 @@ def spatter_sweep(result: ExperimentResult, *,
                      f"{row['footprint_density']:>8.4f} "
                      f"{row['fault_groups']:>7} {row['migrated_pages']:>6} "
                      f"{run.sim_time:>10.6f}")
+
+    # Cross-family signature similarity: each pattern family re-run under
+    # heat tracing, fingerprinted, and compared pairwise.  Same family ->
+    # ~1.0 on the diagonal; different families separate well below the
+    # repro-sig match threshold.
+    from ..analysis import diagnose
+    from ..heatmap.store import HeatStore
+    from ..signature.vector import run_similarity, signature_from_store
+
+    sigs = []
+    for spec in _specs():
+        session = make_session(platform, trace=True)
+        session.tracer.heat = HeatStore(nbuckets=64, attribute=False)
+        SpatterWorkload(session, spec).run()
+        diagnose(session.tracer, include_unnamed=True)
+        session.tracer.heat.flush_current()
+        sigs.append((spec.name, signature_from_store(
+            session.tracer.heat, workload=f"spatter-{spec.name}",
+            platform=platform)))
+    lines.append("")
+    lines.append("access-pattern signature similarity (cosine):")
+    lines.append(f"{'':<14}" + "".join(f"{name:>14}" for name, _ in sigs))
+    for name_a, sig_a in sigs:
+        cells = []
+        sim_row = {"pattern": name_a, "similarity": {}}
+        for name_b, sig_b in sigs:
+            sim = run_similarity(sig_a, sig_b)["similarity"]
+            sim_row["similarity"][name_b] = sim
+            cells.append(f"{sim:>14.4f}")
+        result.rows.append(sim_row)
+        lines.append(f"{name_a:<14}" + "".join(cells))
     result.text = "\n".join(lines) + "\n"
     return result

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..analysis import diagnose
+from ..signature.tracker import PhaseTracker
 from ..telemetry import context
 from ..telemetry.cli import PLATFORM_ALIASES, WORKLOADS
 from ..telemetry.events_jsonl import JsonlWriter
@@ -78,20 +79,23 @@ REPORT_RUNNERS: dict[str, Callable[[Session], WorkloadRun]] = {
 def run_report(workload: str, platform: str, out_dir: str | Path, *,
                buckets: int = 64, attribute: bool = True,
                materialize: bool = True, why: bool = False,
-               sample: int | None = None) -> dict[str, Path]:
+               sample: int | str | None = None) -> dict[str, Path]:
     """Run ``workload`` with heat recording and write the report bundle.
 
     Returns artifact paths: ``report`` (HTML) plus everything
     :meth:`TelemetryRecorder.flush` wrote (timeline, metrics, events,
-    heat_csv, heat_npz).  The :class:`HeatStore` rides along under the
+    heat_csv, heat_npz), plus ``signature.json`` (the run's
+    access-pattern signature; its detected phases render as the report's
+    phase lane).  The :class:`HeatStore` rides along under the
     ``"store"`` key for programmatic callers (``--ansi``, tests).
 
     With ``why=True`` the run is captured with causal provenance: the
     report gains the causal-blame section and ``causes.json`` is written
     next to the other artifacts.
 
-    With ``sample=N`` the tracer records 1-in-N words; the effective rate
-    and estimated fidelity land in the telemetry stream and as a report
+    With ``sample=N`` the tracer records 1-in-N words (``sample="auto"``
+    enables signature-guided adaptive sampling); the effective rate and
+    estimated fidelity land in the telemetry stream and as a report
     banner (results are estimates).  If any driver events fell out of
     retention un-spilled, the report leads with a data-loss warning.
     """
@@ -111,16 +115,29 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
     try:
         session = make_session(preset, trace=True, materialize=materialize,
                                sample=sample)
+        # Live phase tracking: markers land in the event log (and so in
+        # events.jsonl / the Perfetto timeline / the causal rollups).
+        tracker = PhaseTracker(
+            log=session.platform.events,
+            clock=lambda: session.platform.clock.now,
+        ).attach(session.tracer, heat)
         run = runner(session)
         diagnoses = list(run.diagnoses)
         if session.tracer is not None:
             final = diagnose(session.tracer, include_unnamed=True)
             recorder.record_diagnosis(final)
             diagnoses.append(final)
+        tracker.finish()
         recorder.detach()
     finally:
         context.uninstall()
     paths = recorder.flush(out)
+
+    from ..signature.vector import signature_from_store
+
+    heat.flush_current()
+    sig = signature_from_store(heat, workload=workload, platform=preset)
+    paths["signature"] = sig.save(out / "signature.json")
 
     causes = None
     if why:
@@ -137,18 +154,31 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
              if isinstance(v, (int, float))}
     stats.setdefault("sim_time", run.sim_time)
     dropped = int(recorder.events_dropped_total)
+    # The tracer's own sampling_info is preferred over the recorder's
+    # attach-time snapshot: with sample="auto" the stride moves during
+    # the run and only the tracer knows the measured rate.
+    sampling = (session.tracer.sampling_info()
+                if session.tracer is not None else recorder.sampling)
     report = build_report(workload=workload, platform=preset, store=heat,
                           diagnoses=diagnoses,
                           metrics=recorder.metrics.snapshot(), stats=stats,
                           causes=causes,
                           stream={"events_dropped": dropped} if dropped
                           else None,
-                          sampling=recorder.sampling)
+                          sampling=sampling,
+                          phases=sig.phases)
     report_path = out / "report.html"
     report_path.write_text(report)
     paths["report"] = report_path
     paths["store"] = heat  # type: ignore[assignment]
     return paths
+
+
+def _sample_arg(value: str) -> "int | str":
+    """``--sample`` accepts an integer stride or the literal ``auto``."""
+    if value == "auto":
+        return value
+    return int(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,10 +204,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--why", action="store_true",
                         help="capture causal provenance: adds the causal-"
                              "blame report section and writes causes.json")
-    parser.add_argument("--sample", type=int, default=None, metavar="N",
-                        help="sampled tracing: record 1-in-N words "
-                             "(faster; results are estimates, flagged in "
-                             "the report)")
+    parser.add_argument("--sample", type=_sample_arg, default=None,
+                        metavar="N|auto",
+                        help="sampled tracing: record 1-in-N words, or "
+                             "'auto' for signature-guided adaptive "
+                             "sampling (full rate around phase changes, "
+                             "strided in steady state); results are "
+                             "estimates, flagged in the report")
     parser.add_argument("--ansi", action="store_true",
                         help="also print the terminal heatmap to stdout")
     parser.add_argument("--epoch", type=int, default=None,

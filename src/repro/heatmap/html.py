@@ -344,6 +344,7 @@ def _causes_section(causes: Mapping[str, Any] | None) -> str:
         ("by allocation", "alloc", "by_alloc"),
         ("by anti-pattern category", "category", "by_category"),
         ("by kernel", "kernel", "by_kernel"),
+        ("by phase", "phase", "by_phase"),
     ):
         rows = causes.get(rows_key, [])
         if not rows:
@@ -443,13 +444,78 @@ def _banners(stream: Mapping[str, Any] | None,
             parts.append('<div class="banner">streamed run: '
                          + ", ".join(bits) + "." + warn_html + "</div>")
     if sampling:
+        mode = str(sampling.get("mode", ""))
+        label = ("adaptive (signature-guided) sampled tracing: steady-state "
+                 "1-in-" if mode == "auto" else "sampled tracing: 1-in-")
+        measured = sampling.get("measured_rate")
+        measured_html = (f", measured rate {measured}"
+                         if measured is not None else "")
         parts.append(
-            '<div class="banner">sampled tracing: 1-in-'
+            f'<div class="banner">{label}'
             f'{int(sampling.get("sample", 1))} words '
-            f'(effective rate {sampling.get("effective_rate")}, '
+            f'(effective rate {sampling.get("effective_rate")}'
+            f'{measured_html}, '
             f'estimated fidelity {sampling.get("estimated_fidelity")}).'
             '<div class="why">heat counts and diagnostics are scaled '
-            "estimates; dense runs are exact.</div></div>")
+            "estimates; dense runs are exact"
+            + ("; phase transitions traced at full rate." if mode == "auto"
+               else ".") + "</div></div>")
+    return "".join(parts)
+
+
+#: Phase lane fill ramp (alternating, from the sequential ramp).
+_PHASE_FILLS = ("var(--h3)", "var(--h7)", "var(--h5)", "var(--h9)")
+
+
+def _phases_section(phases: Sequence[Mapping[str, Any]] | None) -> str:
+    """The phase lane: detected access-pattern phases over the epoch axis."""
+    if not phases:
+        return ""
+    lo = min(int(p["start_epoch"]) for p in phases)
+    hi = max(int(p["end_epoch"]) for p in phases)
+    span = hi - lo + 1
+    step_x = _CELL_W + _GAP
+    width = _GUTTER + span * step_x
+    lane_h = _CELL_H + 6
+    parts = ["<h2>Access-pattern phases</h2>",
+             f'<div class="sub">{len(phases)} phase(s) detected by online '
+             "change-point segmentation of the per-epoch access-pattern "
+             "vectors (cosine distance to the running phase centroid)</div>",
+             "<figure><figcaption>phase lane "
+             f"<small>epochs e{lo}&ndash;e{hi}</small></figcaption>",
+             f'<svg width="{width}" height="{lane_h + 18}" '
+             f'viewBox="0 0 {width} {lane_h + 18}" role="img" '
+             'aria-label="detected phases over epochs">']
+    for p in phases:
+        x = _GUTTER + (int(p["start_epoch"]) - lo) * step_x
+        w = (int(p["end_epoch"]) - int(p["start_epoch"]) + 1) * step_x - _GAP
+        fill = _PHASE_FILLS[int(p["phase"]) % len(_PHASE_FILLS)]
+        tip = (f"phase {p['phase']}: epochs "
+               f"[{p['start_epoch']},{p['end_epoch']}], "
+               f"{p['total']:,} word-accesses")
+        if p.get("distance"):
+            tip += f", entered at distance {p['distance']}"
+        parts.append(
+            f'<rect x="{x}" y="2" width="{max(w, _CELL_W)}" '
+            f'height="{lane_h - 4}" rx="3" fill="{fill}">'
+            f'<title>{_esc(tip)}</title></rect>')
+        parts.append(
+            f'<text x="{x + 3}" y="{lane_h - 7}">P{p["phase"]}</text>')
+    axis_y = lane_h + 12
+    parts.append(f'<text x="{_GUTTER}" y="{axis_y}">e{lo}</text>')
+    parts.append(f'<text x="{width - 2}" y="{axis_y}" '
+                 f'text-anchor="end">e{hi}</text>')
+    parts.append("</svg>")
+    parts.append("<table><tr><th>phase</th><th>epochs</th><th>count</th>"
+                 "<th>word-accesses</th><th>entry distance</th></tr>")
+    for p in phases:
+        parts.append(
+            f"<tr><td>P{p['phase']}</td>"
+            f"<td>e{p['start_epoch']}&ndash;e{p['end_epoch']}</td>"
+            f"<td>{p['epochs']:,}</td><td>{p['total']:,}</td>"
+            f"<td>{p['distance'] if p.get('distance') else '&mdash;'}"
+            "</td></tr>")
+    parts.append("</table></figure>")
     return "".join(parts)
 
 
@@ -464,6 +530,7 @@ def build_report(
     causes: Mapping[str, Any] | None = None,
     stream: Mapping[str, Any] | None = None,
     sampling: Mapping[str, Any] | None = None,
+    phases: Sequence[Mapping[str, Any]] | None = None,
     artifacts: Iterable[str] = ("timeline.json", "events.jsonl",
                                 "metrics.prom"),
 ) -> str:
@@ -481,6 +548,8 @@ def build_report(
         ``warnings`` describe a spill-and-merge run (``repro-agg``).
     :param sampling: :meth:`repro.runtime.Tracer.sampling_info` dict for
         sampled runs; adds the estimated-fidelity banner.
+    :param phases: detected access-pattern phases (``Phase.to_dict``
+        rows, e.g. ``RunSignature.phases``); adds the phase-lane section.
     :param artifacts: sibling artifact file names to link.
     """
     findings_index = _findings_by_alloc_epoch(diagnoses)
@@ -498,6 +567,7 @@ def build_report(
     else:
         body.append('<div class="none">no heat recorded '
                     '(was the heat store attached?)</div>')
+    body.append(_phases_section(phases))
     body.append(_findings_section(diagnoses))
     body.append(_causes_section(causes))
     body.append(_metrics_section(metrics))

@@ -280,6 +280,12 @@ class HeatStore:
         self.attribute = attribute
         self.epochs_closed: list[int] = []
         self.records = 0
+        #: Called as ``listener(alloc_heat, epoch_heat)`` for every snapshot
+        #: an :meth:`advance_epoch` freezes -- *before* a streaming store
+        #: releases it, so live consumers (phase tracking, adaptive
+        #: sampling telemetry) see every epoch even when heat spills to
+        #: disk.
+        self.epoch_listeners: list = []
         self._allocs: dict[tuple[int, int], AllocationHeat] = {}
 
     # ------------------------------------------------------------------ #
@@ -316,7 +322,10 @@ class HeatStore:
     def advance_epoch(self, closed_epoch: int) -> None:
         """Freeze every open accumulator as epoch ``closed_epoch``."""
         for heat in self._allocs.values():
-            heat.freeze(closed_epoch)
+            snap = heat.freeze(closed_epoch)
+            if snap is not None and self.epoch_listeners:
+                for listener in tuple(self.epoch_listeners):
+                    listener(heat, snap)
         self.epochs_closed.append(closed_epoch)
 
     def flush_current(self) -> None:
@@ -372,23 +381,34 @@ class HeatStore:
     def to_npz(self, path: str | Path) -> Path:
         """Write all heat matrices to a compressed ``.npz`` archive.
 
-        Keys: ``a<i>_counts`` (``(n_epochs, 4, nbuckets)`` int64) and
-        ``a<i>_epochs`` per allocation, plus ``labels``, ``nwords`` and
-        ``epochs_closed`` index arrays.
+        Keys: ``a<i>_counts`` (``(n_epochs, 4, nbuckets)`` int64),
+        ``a<i>_epochs`` and one ``a<i>_<channel>`` array per
+        :data:`CHANNELS` name (``(n_epochs, nbuckets)``, the same data
+        split per channel under stable keys) per allocation, plus the
+        ``labels``, ``nwords``, ``sizes``, ``bases``, ``serials`` and
+        ``epochs_closed`` index arrays.  The per-channel arrays and the
+        geometry index are what let access-pattern signatures
+        (:func:`repro.signature.signature_from_npz`) -- and external
+        tooling -- be rebuilt from the archive alone.
         """
         path = Path(path)
         allocs = self.allocations()
         arrays: dict[str, np.ndarray] = {
             "labels": np.array([h.label for h in allocs]),
             "nwords": np.array([h.nwords for h in allocs], np.int64),
+            "sizes": np.array([h.size for h in allocs], np.int64),
+            "bases": np.array([h.base for h in allocs], np.int64),
+            "serials": np.array([h.serial for h in allocs], np.int64),
             "epochs_closed": np.array(self.epochs_closed, np.int64),
             "channels": np.array(CHANNELS),
         }
         for i, heat in enumerate(allocs):
-            arrays[f"a{i}_counts"] = (
-                np.stack([e.counts for e in heat.epochs])
-                if heat.epochs else
-                np.zeros((0, len(CHANNELS), heat.nbuckets), np.int64))
+            counts = (np.stack([e.counts for e in heat.epochs])
+                      if heat.epochs else
+                      np.zeros((0, len(CHANNELS), heat.nbuckets), np.int64))
+            arrays[f"a{i}_counts"] = counts
+            for c, name in enumerate(CHANNELS):
+                arrays[f"a{i}_{name}"] = counts[:, c, :]
             arrays[f"a{i}_epochs"] = np.array(
                 [e.epoch for e in heat.epochs], np.int64)
         np.savez_compressed(path, **arrays)

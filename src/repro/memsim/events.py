@@ -40,6 +40,7 @@ class EventKind(enum.Enum):
     REMOTE_ACCESS = "remote_access"    # access served over the link w/o migration
     POPULATE = "populate"              # first-touch page population
     MAP = "map"                        # page mapped into a processor's tables
+    PHASE = "phase"                    # access-pattern phase begin/end marker
 
 
 @dataclass(frozen=True)

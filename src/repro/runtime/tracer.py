@@ -86,7 +86,10 @@ class Tracer(ObserverBase):
     def __init__(self, *, enabled: bool = True,
                  heat: "HeatStore | None" = None,
                  batch: bool = True,
-                 sample: int | None = None) -> None:
+                 sample: "int | str | None" = None,
+                 auto_stride: int = 8,
+                 auto_hot: int = 2,
+                 phase_threshold: float | None = None) -> None:
         self.smt = ShadowMemoryTable()
         self.enabled = enabled
         #: Optional access-count heat recorder (off by default; the shadow
@@ -107,8 +110,46 @@ class Tracer(ObserverBase):
         #: Sampled shadow mode: record 1-in-N words (strided over spans,
         #: 1-in-N calls for sub-stride accesses).  Diagnostics scale the
         #: counts back up; results are *estimates* -- see EXPERIMENTS.md.
-        self.sample = max(1, int(sample)) if sample else 1
+        #:
+        #: ``sample="auto"`` is the signature-guided adaptive mode: the
+        #: stride starts at 1 (full rate), and at each epoch boundary an
+        #: online :class:`~repro.signature.phases.PhaseDetector` over the
+        #: open heat accumulators (heat records full-rate regardless of
+        #: shadow sampling, so the signal never degrades) decides the
+        #: *next* epoch's stride -- full rate for ``auto_hot`` epochs after
+        #: every detected phase change, ``auto_stride`` in steady state.
+        #: Requires a heat store; without one the tracer stays full-rate.
+        if sample == "auto":
+            self.sample = 1
+            self.sample_mode = "auto"
+        elif sample and int(sample) > 1:
+            self.sample = int(sample)
+            self.sample_mode = "fixed"
+        else:
+            self.sample = 1
+            self.sample_mode = "off"
+        #: Steady-state stride of ``sample="auto"``.
+        self.auto_stride = max(2, int(auto_stride))
+        #: Full-rate epochs traced after each detected phase change.
+        self.auto_hot = max(1, int(auto_hot))
+        #: Phase changes the adaptive sampler has reacted to.
+        self.auto_changes = 0
+        self._phase_threshold = phase_threshold
+        self._auto_detector = None
+        self._auto_hot_left = 0
         self._sample_tick = 0
+        #: Shadow words seen / actually recorded across closed epochs
+        #: (the open epoch's tallies live in the ``_epoch_*`` pair until
+        #: :meth:`advance_epoch` folds them in).  ``recorded < seen`` only
+        #: under sampling; the ratio is the *measured* sampling rate that
+        #: report and telemetry headers surface via :meth:`sampling_info`.
+        self.words_seen = 0
+        self.words_recorded = 0
+        self._epoch_seen = 0
+        self._epoch_recorded = 0
+        #: Per-epoch ``{"epoch", "seen", "recorded", "sample"}`` records
+        #: (the stride in effect while that epoch was traced).
+        self.epoch_rates: list[dict] = []
         #: Coalesces consecutive same-(alloc, proc, kind) accesses into one
         #: vectorized shadow update (see :mod:`repro.runtime.batch`).
         #: ``Tracer(batch=False)`` restores the one-update-per-call path
@@ -165,14 +206,19 @@ class Tracer(ObserverBase):
         """
         n = self.sample
         step = 1
+        seen = hi - lo
         if n > 1:
-            if hi - lo >= n:
+            if seen >= n:
                 step = n
                 lo = -(-lo // n) * n  # first grid word inside the span
             else:
                 self._sample_tick += 1
                 if self._sample_tick % n:
+                    self._epoch_seen += seen
                     return
+        self._epoch_seen += seen
+        self._epoch_recorded += (hi - lo + step - 1) // step \
+            if lo < hi else 0
         if kind == KIND_READ:
             block.record_read(proc, lo, hi, step=step)
         elif kind == KIND_WRITE:
@@ -280,6 +326,8 @@ class Tracer(ObserverBase):
             # Scattered accesses bypass the batcher but must still respect
             # program order against any pending interval.
             self.flush_trace()
+            self._epoch_seen += len(idx)
+            self._epoch_recorded += len(idx)
             if is_rmw:
                 block.record_rmw(proc, lo, hi, idx)
             elif is_write:
@@ -307,6 +355,8 @@ class Tracer(ObserverBase):
             if block is not None:
                 lo, hi = block.word_range(dst_off, nbytes)
                 block.record_write(Processor.CPU, lo, hi)
+                self._epoch_seen += hi - lo
+                self._epoch_recorded += hi - lo
                 if self.heat is not None:
                     self.heat.record(dst, Processor.CPU, is_write=True,
                                      lo=lo, hi=hi)
@@ -318,6 +368,8 @@ class Tracer(ObserverBase):
             if block is not None:
                 lo, hi = block.word_range(src_off, nbytes)
                 block.record_read(Processor.CPU, lo, hi)
+                self._epoch_seen += hi - lo
+                self._epoch_recorded += hi - lo
                 if self.heat is not None:
                     self.heat.record(src, Processor.CPU, is_write=False,
                                      lo=lo, hi=hi)
@@ -357,11 +409,88 @@ class Tracer(ObserverBase):
         self.smt.flush_graveyard()
         closed = self.epoch
         self.epoch += 1
+        self.words_seen += self._epoch_seen
+        self.words_recorded += self._epoch_recorded
+        self.epoch_rates.append({"epoch": closed,
+                                 "seen": self._epoch_seen,
+                                 "recorded": self._epoch_recorded,
+                                 "sample": self.sample})
+        self._epoch_seen = 0
+        self._epoch_recorded = 0
+        if self.sample_mode == "auto" and self.heat is not None:
+            # Decide the *next* epoch's stride from the epoch that just
+            # closed, before the heat store freezes (and, when streaming,
+            # releases) its open accumulators.
+            self._auto_update(closed)
         if self.heat is not None:
             self.heat.advance_epoch(closed)
         for hook in tuple(self.epoch_hooks):
             hook(closed)
         return self.epoch
+
+    def _auto_update(self, closed: int) -> None:
+        """Adaptive-sampling step: phase-detect, then pick the next stride.
+
+        Full rate while the detector sees a phase transition (and for
+        ``auto_hot`` epochs after it), ``auto_stride`` once the pattern is
+        steady.  The heat store records every word regardless of shadow
+        sampling, so the detector's signal is full-fidelity even while
+        the shadow is strided.
+        """
+        from ..signature.phases import PhaseDetector
+        from ..signature.vector import combine_vectors, epoch_vector
+
+        det = self._auto_detector
+        if det is None:
+            det = self._auto_detector = PhaseDetector(
+                *(() if self._phase_threshold is None
+                  else (self._phase_threshold,)))
+        pairs = []
+        for heat in self.heat._allocs.values():
+            total = int(heat._counts.sum())
+            if total:
+                pairs.append((epoch_vector(heat._counts), total))
+        vec, weight = combine_vectors(pairs)
+        if weight <= 0:
+            return
+        first = not det.started
+        _, changed = det.update(closed, vec, weight)
+        if first or changed:
+            if changed:
+                self.auto_changes += 1
+            self._auto_hot_left = self.auto_hot
+            self.sample = 1
+        else:
+            if self._auto_hot_left > 0:
+                self._auto_hot_left -= 1
+            self.sample = 1 if self._auto_hot_left > 0 else self.auto_stride
+
+    def describe(self) -> dict:
+        """Live description of the tracer: mode, strides, true rates.
+
+        Unlike :attr:`sample` (the *configured* stride), the word counters
+        report what actually happened: ``words_seen`` is every shadow word
+        the instrumented program presented, ``words_recorded`` how many
+        the shadow actually kept, and ``measured_rate`` their ratio --
+        the effective sampling rate even under ``sample="auto"``, where
+        the stride varies per epoch (see :attr:`epoch_rates`).
+        """
+        seen = self.words_seen + self._epoch_seen
+        recorded = self.words_recorded + self._epoch_recorded
+        return {
+            "enabled": self.enabled,
+            "epoch": self.epoch,
+            "mode": self.sample_mode,
+            "sample": self.sample,
+            "auto_stride": self.auto_stride,
+            "phase_changes": self.auto_changes,
+            "words_seen": seen,
+            "words_recorded": recorded,
+            "measured_rate": round(recorded / seen, 6) if seen else 1.0,
+            "kernels": len(self.kernels),
+            "transfers": len(self.transfers),
+            "epochs": [dict(r) for r in self.epoch_rates],
+        }
 
     def sampling_info(self) -> dict | None:
         """Effective sampling rate + estimated fidelity, or ``None``.
@@ -370,23 +499,46 @@ class Tracer(ObserverBase):
         dict telemetry and report headers embed verbatim so sampled runs
         are visibly labeled as sampled:
 
-        * ``sample`` -- the configured stride N (1-in-N words recorded);
-        * ``effective_rate`` -- fraction of words recorded (``1/N``);
+        * ``sample`` -- the stride N (1-in-N words; the steady-state
+          stride in adaptive mode);
+        * ``mode`` -- ``"fixed"`` or ``"auto"``;
+        * ``effective_rate`` -- fraction of words recorded: ``1/N`` for a
+          fixed stride, the measured ratio under ``auto``;
+        * ``measured_rate`` -- recorded/seen words so far (the *true*
+          rate; absent until anything was traced);
         * ``estimated_fidelity`` -- conservative estimate of how closely
           scaled-up counts track a full trace.  Dense full-span patterns
           are exact (the fidelity suite pins this); the estimate decays
-          with the stride to cover partial-coverage patterns, matching
-          the relative-error bounds measured in
+          with the effective stride to cover partial-coverage patterns,
+          matching the relative-error bounds measured in
           ``tests/perf/test_sampled_fidelity.py``.
         """
-        n = self.sample
-        if n <= 1:
+        if self.sample_mode == "off":
             return None
         import math
-        fidelity = max(0.5, 1.0 - 0.05 * math.log2(n))
-        return {"sample": n,
-                "effective_rate": round(1.0 / n, 6),
-                "estimated_fidelity": round(fidelity, 3)}
+        seen = self.words_seen + self._epoch_seen
+        recorded = self.words_recorded + self._epoch_recorded
+        measured = round(recorded / seen, 6) if seen else None
+        if self.sample_mode == "auto":
+            stride = (seen / recorded) if seen and recorded else 1.0
+            info = {"sample": self.auto_stride,
+                    "mode": "auto",
+                    "effective_rate": measured if measured is not None
+                    else 1.0,
+                    "estimated_fidelity": round(
+                        max(0.5, 1.0 - 0.05 * math.log2(max(1.0, stride))),
+                        3),
+                    "phase_changes": self.auto_changes}
+        else:
+            n = self.sample
+            info = {"sample": n,
+                    "mode": "fixed",
+                    "effective_rate": round(1.0 / n, 6),
+                    "estimated_fidelity": round(
+                        max(0.5, 1.0 - 0.05 * math.log2(n)), 3)}
+        if measured is not None:
+            info["measured_rate"] = measured
+        return info
 
     def advice_for(self, alloc: Allocation) -> set[cudaMemoryAdvise]:
         """Advice currently applied to ``alloc`` (set/unset pairs folded).

@@ -1,0 +1,203 @@
+"""What do signatures and phase tracking cost on top of plain tracing?
+
+Two measurements back the ``repro.signature`` acceptance bars:
+
+* **Overhead** -- a traced run with a heat store attached (the
+  ``repro-report`` configuration) versus the same run with a live
+  :class:`~repro.signature.tracker.PhaseTracker` plus the end-of-run
+  :func:`~repro.signature.vector.signature_from_store` computation.
+  Phase tracking is one vector fold per epoch and the signature a single
+  pass over frozen heat counts, so the bar is < 1.3x over traced.
+
+* **Adaptive fidelity** -- ``Tracer(sample="auto")`` versus a fixed
+  stride granted an equal-or-larger recorded-word budget, scored on a
+  phased synthetic program (each regime repeats a deterministic access
+  pattern in its own region).  Fidelity is per-word agreement between
+  the per-phase union of recorded shadow states and an unsampled run's
+  shadow -- the information diagnostics and signatures are built from.
+
+Usage::
+
+    python -m repro.signature.overhead --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+
+import numpy as np
+
+from ..heatmap.store import HeatStore
+from ..memsim import AddressSpace, MemoryKind, Processor
+from ..memsim.events import EventLog
+from ..runtime import Tracer
+from ..telemetry.overhead import OVERHEAD_WORKLOADS, _timed
+from ..workloads.base import make_session
+from .tracker import PhaseTracker
+from .vector import signature_from_store
+
+__all__ = [
+    "measure_signature_overhead",
+    "measure_adaptive_fidelity",
+    "format_rows",
+    "main",
+]
+
+
+def measure_signature_overhead(
+    workloads: tuple[str, ...] = ("sw",),
+    *,
+    platform: str = "intel-pascal",
+    repeats: int = 3,
+) -> list[dict]:
+    """Time each workload traced+heat vs traced+heat+phases+signature.
+
+    Returns one row per workload with absolute times and the ratio
+    ``signature_x`` against the traced run.
+    """
+    rows: list[dict] = []
+    for name in workloads:
+        runner = OVERHEAD_WORKLOADS[name]
+
+        def run_config(signature: bool) -> None:
+            session = make_session(platform, trace=True, materialize=False)
+            heat = HeatStore(nbuckets=64, attribute=False)
+            session.tracer.heat = heat
+            tracker = None
+            if signature:
+                tracker = PhaseTracker(log=EventLog()).attach(
+                    session.tracer, heat)
+            runner(session)
+            if signature:
+                tracker.finish()
+                heat.flush_current()
+                signature_from_store(heat, workload=name, platform=platform)
+
+        traced_s = _timed(lambda: run_config(False), repeats)
+        signature_s = _timed(lambda: run_config(True), repeats)
+        rows.append({
+            "workload": name,
+            "traced_s": traced_s,
+            "signature_s": signature_s,
+            "signature_x": (signature_s / traced_s if traced_s
+                            else float("inf")),
+        })
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# adaptive-fidelity measurement
+
+_WORDS = 4096
+_QUARTER = _WORDS // 4
+_REGIMES = 4
+_EPOCHS_PER_REGIME = 8
+
+
+def _phased_program() -> list[list[tuple[Processor, bool, int, int]]]:
+    """Each regime repeats one deterministic pattern in its own quarter."""
+    program = []
+    for r in range(_REGIMES):
+        base = r * _QUARTER
+        epoch = [(Processor.GPU, False, base, base + _QUARTER)]
+        for i in range(16):
+            lo = base + (i * 61) % (_QUARTER - 16)
+            epoch.append((Processor.CPU, True, lo, lo + 16))
+        program.extend([epoch] * _EPOCHS_PER_REGIME)
+    return program
+
+
+def _replay(tracer: Tracer) -> list[np.ndarray]:
+    space = AddressSpace()
+    alloc = space.allocate(_WORDS * 4, MemoryKind.MANAGED, label="m")
+    tracer.trc_register(alloc)
+    snapshots = []
+    for epoch in _phased_program():
+        for proc, is_write, lo, hi in epoch:
+            tracer.on_access(proc, alloc, lo * 4, 4, hi - lo,
+                             is_write=is_write, indices=None, is_rmw=False)
+        tracer.flush_trace()
+        snapshots.append(tracer.smt.lookup(alloc.base).shadow.copy())
+        tracer.advance_epoch()
+    return snapshots
+
+
+def _phase_fidelity(snapshots: list[np.ndarray],
+                    reference: list[np.ndarray]) -> float:
+    scores = []
+    for r in range(_REGIMES):
+        lo = r * _EPOCHS_PER_REGIME
+        chunk = snapshots[lo:lo + _EPOCHS_PER_REGIME]
+        union = np.bitwise_or.reduce(np.stack(chunk), axis=0)
+        scores.append(float(np.mean(union == reference[lo])))
+    return sum(scores) / len(scores)
+
+
+def measure_adaptive_fidelity(*, auto_stride: int = 8, auto_hot: int = 2,
+                              fixed_stride: int = 2) -> dict:
+    """Score ``sample="auto"`` against a fixed stride at >= equal budget."""
+    reference = _replay(Tracer())
+
+    auto_tracer = Tracer(sample="auto", auto_stride=auto_stride,
+                         auto_hot=auto_hot)
+    auto_tracer.heat = HeatStore(nbuckets=32, attribute=False)
+    auto_snaps = _replay(auto_tracer)
+
+    fixed_tracer = Tracer(sample=fixed_stride)
+    fixed_snaps = _replay(fixed_tracer)
+
+    auto_desc, fixed_desc = auto_tracer.describe(), fixed_tracer.describe()
+    return {
+        "auto_recorded": auto_desc["words_recorded"],
+        "fixed_recorded": fixed_desc["words_recorded"],
+        "words_seen": auto_desc["words_seen"],
+        "phase_changes": auto_tracer.auto_changes,
+        "auto_fidelity": _phase_fidelity(auto_snaps, reference),
+        "fixed_fidelity": _phase_fidelity(fixed_snaps, reference),
+    }
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Render the overhead table as text."""
+    out = io.StringIO()
+    out.write(f"{'workload':14s}{'traced':>9s}{'signature':>11s}"
+              f"{'ratio':>8s}\n")
+    for r in rows:
+        out.write(f"{r['workload']:14s}{r['traced_s']:8.3f}s"
+                  f"{r['signature_s']:10.3f}s{r['signature_x']:7.2f}x\n")
+    if rows:
+        mean = sum(r["signature_x"] for r in rows) / len(rows)
+        out.write(f"{'average signature overhead vs traced':40s}"
+                  f"{mean:7.2f}x\n")
+    return out.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.signature.overhead``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sig-overhead",
+        description="Measure signature/phase overhead vs plain tracing.")
+    parser.add_argument("--workloads", nargs="*", default=["sw"],
+                        choices=sorted(OVERHEAD_WORKLOADS),
+                        help="workloads to time")
+    parser.add_argument("--platform", default="intel-pascal",
+                        help="platform preset (default: intel-pascal)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs per configuration")
+    args = parser.parse_args(argv)
+    rows = measure_signature_overhead(tuple(args.workloads),
+                                      platform=args.platform,
+                                      repeats=args.repeats)
+    sys.stdout.write(format_rows(rows))
+    fid = measure_adaptive_fidelity()
+    sys.stdout.write(
+        f"adaptive fidelity {fid['auto_fidelity']:.3f} vs fixed "
+        f"{fid['fixed_fidelity']:.3f} at {fid['auto_recorded']} vs "
+        f"{fid['fixed_recorded']} recorded words\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -150,13 +150,28 @@ class MergedRun:
             "warnings": list(self.warnings),
         }
 
+    def signature(self):
+        """Access-pattern signature of the merged heat (with phases).
+
+        Heat merges by element-wise integer sum, so a K-shard merge signs
+        byte-identically to the unsharded run it was split from -- the
+        property the signature index relies on to recognize resharded
+        reruns of a known pattern.
+        """
+        from ..signature import signature_from_store
+
+        return signature_from_store(self.store, workload=self.workload,
+                                    platform=self.platform)
+
     def write(self, out_dir: str | Path, *, report: bool = True,
               why: bool = True) -> dict[str, Path]:
         """Write the merged run directory.
 
         Always: ``manifest.json``, ``events.jsonl`` (manifest-led, schema
         v2 -- directly consumable by ``repro-why``), ``heat.csv``,
-        ``heat.npz``, ``metrics.prom``.  With ``why``: ``causes.json``.
+        ``heat.npz``, ``metrics.prom``, ``signature.json`` (the run's
+        access-pattern signature + detected phases, ready for
+        ``repro-sig compare/match``).  With ``why``: ``causes.json``.
         With ``report``: ``report.html`` through the standard renderer.
         """
         from .segments import write_manifest
@@ -189,6 +204,9 @@ class MergedRun:
         metrics_path.write_text(self._registry().to_prometheus())
         paths["metrics"] = metrics_path
 
+        sig = self.signature()
+        paths["signature"] = sig.save(out / "signature.json")
+
         causes = None
         if why:
             causes = self.causes_report()
@@ -208,8 +226,10 @@ class MergedRun:
                         "events_dropped": self.events_dropped,
                         "warnings": list(self.warnings)},
                 sampling=self.sampling,
+                phases=sig.phases,
                 artifacts=("events.jsonl", "heat.csv", "heat.npz",
-                           "metrics.prom", "causes.json"))
+                           "metrics.prom", "causes.json",
+                           "signature.json"))
             report_path = out / "report.html"
             report_path.write_text(html)
             paths["report"] = report_path

@@ -40,7 +40,8 @@ def run_streaming(
     attribute: bool = True,
     materialize: bool = True,
     why: bool = True,
-    sample: int | None = None,
+    sample: int | str | None = None,
+    phases: bool = True,
     log_capacity: int = 512,
     watermark_events: int = 16384,
 ) -> dict[str, Any]:
@@ -50,7 +51,11 @@ def run_streaming(
         that will later be merged together).
     :param why: record causal provenance so the merged run can feed
         ``repro-why`` (cause blocks on every driver event).
-    :param sample: shadow-sampling stride passed to the tracer.
+    :param sample: shadow-sampling stride passed to the tracer (an int,
+        or ``"auto"`` for signature-guided adaptive sampling).
+    :param phases: track access-pattern phases live and mark
+        ``phase_begin``/``phase_end`` events in the stream (the manifest
+        rollup carries the current phase for ``repro-top``).
     :param log_capacity: event-log ring size; evictions beyond it spill
         to disk (this is the memory watermark on the event side).
     :param watermark_events: spilled events that force a segment flush
@@ -79,10 +84,23 @@ def run_streaming(
         session.platform.um.track_causes = True
     session.platform.events.configure_retention(capacity=log_capacity,
                                                 ring=True)
+    tracker = None
+    if phases:
+        from ..signature.tracker import PhaseTracker
+
+        # Attached before the spiller so each epoch's phase marker is
+        # recorded before the spiller flushes that epoch's segment.
+        tracker = PhaseTracker(
+            log=session.platform.events,
+            clock=lambda: session.platform.clock.now,
+        ).attach(session.tracer, heat)
     spiller.attach(session, heat=heat)
+    spiller.phase_source = tracker
     try:
         run = runner(session)
     finally:
+        if tracker is not None:
+            tracker.finish()  # phase_end lands before the final drain
         manifest = spiller.close()
     return {"manifest": manifest, "run": run,
             "sim_time": session.platform.clock.now}
@@ -163,7 +181,7 @@ def split_stream(src_dir: str | Path, out_base: str | Path,
             # Whole-run properties live on one shard only (display-side;
             # the merge recomputes counters from the events themselves).
             for key in ("summary", "sim_time", "gpu_pages_in_use",
-                        "epochs_closed"):
+                        "epochs_closed", "phase"):
                 if key in rollup:
                     shard_rollup[key] = rollup[key]
         if "sampling" in rollup:

@@ -95,6 +95,11 @@ class SpillingHeatStore(HeatStore):
             snap = heat.freeze(closed_epoch)
             if snap is None:
                 continue
+            # Live listeners (phase tracking) see every snapshot before
+            # the store releases it to the spill sink.
+            if self.epoch_listeners:
+                for listener in tuple(self.epoch_listeners):
+                    listener(heat, snap)
             if self.sink is not None:
                 self.sink(heat, snap)
                 self.epochs_spilled += 1
@@ -134,6 +139,11 @@ class StreamSpiller(ObserverBase):
         self._prev_spill = None
         self._epoch_hook = None
         self._closed = False
+        #: Optional :class:`~repro.signature.tracker.PhaseTracker`; when
+        #: set, its live state rides the manifest rollup (``repro-top``'s
+        #: phase line) and its markers land in the event stream like any
+        #: other driver event.
+        self.phase_source = None
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -280,6 +290,8 @@ class StreamSpiller(ObserverBase):
             if info is not None:
                 rollup["sampling"] = {k: v for k, v in info.items()
                                       if k != "type"}
+        if self.phase_source is not None:
+            rollup["phase"] = self.phase_source.rollup()
         return rollup
 
 

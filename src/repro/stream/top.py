@@ -218,8 +218,14 @@ class Monitor:
 
     def _counter_lines(self, totals: dict[str, float]) -> list[str]:
         sampling = None
+        phase = None
         for view in self.views:
             sampling = view.rollup.get("sampling") or sampling
+            p = view.rollup.get("phase")
+            # The freshest shard (highest closed epoch) owns the live view.
+            if p and (phase is None or p.get("epoch", -1)
+                      > phase.get("epoch", -1)):
+                phase = p
         dt = totals["sim_time"] - self._prev.get("sim_time", 0.0)
         parts = [
             f"events {_fmt(totals['events_spilled'])}",
@@ -241,9 +247,15 @@ class Monitor:
                 if delta >= 0:
                     rate_parts.append(f"{label} {_fmt(delta / dt)}")
         lines.append("residency  " + "  ".join(rate_parts))
-        if sampling:
+        if phase:
             lines.append(
-                f"sampling   1-in-{sampling.get('sample')} words "
+                f"phase      #{phase.get('current', 0)} "
+                f"(epoch {phase.get('epoch', -1)}, "
+                f"{phase.get('changes', 0)} change(s))")
+        if sampling:
+            mode = f", {sampling['mode']}" if sampling.get("mode") else ""
+            lines.append(
+                f"sampling   1-in-{sampling.get('sample')} words{mode} "
                 f"(est. fidelity {sampling.get('estimated_fidelity')})")
         if totals["events_dropped"]:
             lines.append(f"!! {_fmt(totals['events_dropped'])} event(s) "

@@ -55,7 +55,7 @@ _LINK_SPAN_KINDS = frozenset({
 })
 #: Driver event kinds rendered as instants on the driver track.
 _DRIVER_INSTANT_KINDS = frozenset({
-    EventKind.PAGE_FAULT, EventKind.INVALIDATION,
+    EventKind.PAGE_FAULT, EventKind.INVALIDATION, EventKind.PHASE,
 })
 
 

@@ -64,7 +64,7 @@ def make_session(
     trace: bool = True,
     materialize: bool = True,
     gpu_memory_bytes: int | None = None,
-    sample: int | None = None,
+    sample: int | str | None = None,
 ) -> Session:
     """Build a fresh simulated session.
 
@@ -73,8 +73,11 @@ def make_session(
     :param materialize: back allocations with real numpy buffers.
     :param gpu_memory_bytes: override GPU memory (oversubscription studies).
     :param sample: shadow-sampling stride (1-in-N words); ``None``/1 traces
-        densely.  The tracer's effective rate and estimated fidelity are
-        surfaced through :meth:`~repro.runtime.Tracer.sampling_info`.
+        densely.  ``"auto"`` enables signature-guided adaptive sampling:
+        full rate around detected phase changes, strided in steady state
+        (needs a heat store attached to the tracer to take effect).  The
+        tracer's effective rate and estimated fidelity are surfaced
+        through :meth:`~repro.runtime.Tracer.sampling_info`.
     """
     if isinstance(platform, str):
         factory = PLATFORMS[platform]

@@ -1,0 +1,106 @@
+"""Signature index: persistence, versioning, nearest-neighbor matching."""
+
+import json
+
+import pytest
+
+from repro.signature.index import (
+    DEFAULT_MATCH_THRESHOLD,
+    SignatureIndex,
+)
+from repro.signature.vector import signature_from_store
+
+from .test_phases import INDIRECT, MS1, STRIDE1, _spatter_epoch_store
+
+
+def _sig(spec, *, epochs=3, workload=None):
+    return signature_from_store(
+        _spatter_epoch_store([spec] * epochs),
+        workload=workload or f"spatter-{spec.name}", platform="test")
+
+
+@pytest.fixture
+def index(tmp_path):
+    idx = SignatureIndex(tmp_path / "db")
+    idx.add("stride", _sig(STRIDE1))
+    idx.add("indirect", _sig(INDIRECT))
+    return idx
+
+
+class TestPersistence:
+    def test_layout_and_reload(self, index, tmp_path):
+        doc = json.loads((tmp_path / "db" / "index.json").read_text())
+        assert doc["type"] == "signature_index"
+        assert sorted(doc["entries"]) == ["indirect", "stride"]
+        reopened = SignatureIndex(tmp_path / "db")
+        assert reopened.names() == ["indirect", "stride"]
+        assert len(reopened) == 2 and "stride" in reopened
+        assert reopened.get("stride").to_json() == _sig(STRIDE1).to_json()
+
+    def test_add_replaces(self, index):
+        index.add("stride", _sig(STRIDE1, epochs=5))
+        assert len(index) == 2
+        assert len(index.get("stride").epoch_vectors) == 5
+
+    def test_unsafe_names_are_slugged(self, index, tmp_path):
+        index.add("run/with spaces!", _sig(MS1))
+        assert "run/with spaces!" in index
+        stored = json.loads(
+            (tmp_path / "db" / "index.json").read_text())
+        rel = stored["entries"]["run/with spaces!"]["file"]
+        assert "/" not in rel.split("sigs/")[1]
+        assert (tmp_path / "db" / rel).exists()
+
+    def test_version_guards(self, tmp_path):
+        root = tmp_path / "bad"
+        root.mkdir()
+        (root / "index.json").write_text(json.dumps(
+            {"type": "signature_index", "version": 999,
+             "feature_version": 1, "entries": {}}))
+        with pytest.raises(ValueError, match="version"):
+            SignatureIndex(root)
+        (root / "index.json").write_text(json.dumps(
+            {"type": "nope"}))
+        with pytest.raises(ValueError, match="not a signature index"):
+            SignatureIndex(root)
+
+
+class TestMatching:
+    def test_same_family_matches_above_threshold(self, index):
+        report = index.match(_sig(STRIDE1, epochs=4))
+        assert report["best"] is not None
+        assert report["best"]["name"] == "stride"
+        assert report["best"]["similarity"] >= DEFAULT_MATCH_THRESHOLD
+
+    def test_different_family_scores_below_same_family(self, index):
+        report = index.match(_sig(INDIRECT, epochs=4))
+        scores = {n["name"]: n["similarity"] for n in report["neighbors"]}
+        assert report["best"]["name"] == "indirect"
+        assert scores["indirect"] > scores["stride"]
+
+    def test_cross_family_reports_no_match(self, tmp_path):
+        """A different Spatter family scores below the match threshold."""
+        idx = SignatureIndex(tmp_path / "db2")
+        idx.add("stride", _sig(STRIDE1))
+        report = idx.match(_sig(INDIRECT, epochs=4))
+        assert report["best"] is None
+        assert report["neighbors"][0]["similarity"] \
+            < DEFAULT_MATCH_THRESHOLD
+
+    def test_no_match_when_everything_below_threshold(self, index):
+        report = index.match(_sig(STRIDE1), threshold=1.1)
+        assert report["best"] is None
+        assert all(not n["match"] for n in report["neighbors"])
+
+    def test_neighbors_sorted_and_limited(self, index):
+        index.add("ms1", _sig(MS1))
+        report = index.match(_sig(STRIDE1), k=2)
+        assert len(report["neighbors"]) == 2
+        sims = [n["similarity"] for n in report["neighbors"]]
+        assert sims == sorted(sims, reverse=True)
+        assert report["entries"] == 3
+
+    def test_match_report_is_deterministic(self, index):
+        q = _sig(MS1)
+        assert json.dumps(index.match(q), sort_keys=True) \
+            == json.dumps(index.match(q), sort_keys=True)

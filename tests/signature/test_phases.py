@@ -1,0 +1,122 @@
+"""Phase detection: change-points land exactly on Spatter family switches."""
+
+import numpy as np
+
+from repro.heatmap.store import HeatStore
+from repro.memsim import AddressSpace, MemoryKind, Processor
+from repro.signature.phases import (
+    DEFAULT_THRESHOLD,
+    PhaseDetector,
+    detect_phases,
+)
+from repro.signature.vector import (
+    N_FEATURES,
+    cosine_similarity,
+    epoch_vector,
+    signature_from_store,
+)
+from repro.workloads.spatter import indirection, mostly_stride_1, uniform_stride
+
+SPREAD = 4096
+
+STRIDE1 = uniform_stride(1, length=16, count=32)
+MS1 = mostly_stride_1(length=16, jump=256, count=32)
+INDIRECT = indirection(length=128, spread=SPREAD)
+
+
+def _spatter_epoch_store(families):
+    """One store whose epoch ``e`` replays Spatter family ``families[e]``.
+
+    Each epoch drives the GPU-read channel with the family's flat index
+    stream -- the gather side of the pattern, which is where the families
+    actually differ.
+    """
+    space = AddressSpace()
+    data = space.allocate(SPREAD * 4, MemoryKind.MANAGED, label="data")
+    store = HeatStore(nbuckets=64, attribute=False)
+    for e, spec in enumerate(families):
+        store.record(data, Processor.GPU, is_write=False,
+                     idx=spec.flat_indices() % SPREAD)
+        store.advance_epoch(e)
+    return store
+
+
+class TestDetectorMechanics:
+    def test_constant_stream_is_one_phase(self):
+        vec = np.zeros(N_FEATURES)
+        vec[0] = 1.0
+        phases = detect_phases([(e, vec, 100) for e in range(5)])
+        assert len(phases) == 1
+        assert (phases[0].start_epoch, phases[0].end_epoch) == (0, 4)
+        assert phases[0].epochs == 5 and phases[0].total == 500
+        assert phases[0].distance == 0.0
+
+    def test_zero_total_epochs_are_ignored(self):
+        vec = np.ones(N_FEATURES)
+        det = PhaseDetector()
+        assert not det.started
+        assert det.update(0, vec, 0) == (0.0, False)
+        assert not det.started
+        det.update(1, vec, 10)
+        assert det.started
+        assert det.finish()[0].epochs == 1
+
+    def test_orthogonal_switch_opens_new_phase_at_that_epoch(self):
+        a = np.zeros(N_FEATURES)
+        a[0] = 1.0
+        b = np.zeros(N_FEATURES)
+        b[3] = 1.0
+        stream = [(e, a, 10) for e in range(3)] + \
+                 [(e, b, 10) for e in range(3, 6)]
+        phases = detect_phases(stream)
+        assert [p.index for p in phases] == [0, 1]
+        assert phases[0].end_epoch == 2
+        assert phases[1].start_epoch == 3
+        assert phases[1].distance > DEFAULT_THRESHOLD
+
+    def test_detector_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        stream = [(e, rng.random(N_FEATURES), int(rng.integers(1, 100)))
+                  for e in range(20)]
+        a = [p.to_dict() for p in detect_phases(stream)]
+        b = [p.to_dict() for p in detect_phases(stream)]
+        assert a == b
+
+
+class TestSpatterFamilySwitch:
+    def test_stride_to_indirection_boundary(self):
+        """Four stride-1 epochs then four indirection epochs: one switch."""
+        sig = signature_from_store(
+            _spatter_epoch_store([STRIDE1] * 4 + [INDIRECT] * 4))
+        assert len(sig.phases) == 2
+        assert sig.phases[0]["end_epoch"] == 3
+        assert sig.phases[1]["start_epoch"] == 4
+        assert sig.phases[1]["distance"] > DEFAULT_THRESHOLD
+
+    def test_stride_to_ms1_boundary(self):
+        """mostly-stride-1 is its own Spatter family: boundary detected."""
+        sig = signature_from_store(
+            _spatter_epoch_store([STRIDE1] * 3 + [MS1] * 3))
+        assert [p["start_epoch"] for p in sig.phases] == [0, 3]
+
+    def test_aba_program_finds_both_switches(self):
+        """stride -> indirection -> stride again: two change-points."""
+        sig = signature_from_store(_spatter_epoch_store(
+            [STRIDE1] * 3 + [INDIRECT] * 3 + [STRIDE1] * 3))
+        assert [p["start_epoch"] for p in sig.phases] == [0, 3, 6]
+        assert [p["end_epoch"] for p in sig.phases] == [2, 5, 8]
+
+    def test_intra_family_jitter_stays_one_phase(self):
+        """Different seeds of one indirection family do not split phases."""
+        sig = signature_from_store(_spatter_epoch_store(
+            [indirection(length=128, spread=SPREAD, seed=s)
+             for s in range(1, 7)]))
+        assert len(sig.phases) == 1
+
+    def test_epoch_vectors_separate_families(self):
+        stride = epoch_vector(_spatter_epoch_store(
+            [STRIDE1]).allocations()[0].epochs[0].counts)
+        indirect = epoch_vector(_spatter_epoch_store(
+            [INDIRECT]).allocations()[0].epochs[0].counts)
+        assert cosine_similarity(stride, indirect) \
+            < 1.0 - DEFAULT_THRESHOLD

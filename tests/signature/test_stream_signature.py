@@ -1,0 +1,83 @@
+"""Signatures across the spill-and-merge pipeline: sharding-invariant."""
+
+import json
+
+import pytest
+
+from repro.signature.cli import main as sig_main
+from repro.signature.vector import run_similarity, signature_from_npz
+from repro.stream.merge import merge_shards
+from repro.stream.shard import run_streaming, split_stream
+
+
+@pytest.fixture(scope="module")
+def stream_runs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("sig-stream")
+    run_streaming("pathfinder", "pcie", base / "whole", log_capacity=64)
+    shards2 = split_stream(base / "whole", base / "k2", 2)
+    shards4 = split_stream(base / "whole", base / "k4", 4)
+    return base, shards2, shards4
+
+
+class TestShardingInvariance:
+    def test_merged_signature_equals_single_run(self, stream_runs):
+        base, shards2, shards4 = stream_runs
+        whole = merge_shards([base / "whole"]).signature()
+        k2 = merge_shards(shards2).signature()
+        k4 = merge_shards(shards4).signature()
+        assert k2.to_json() == whole.to_json()
+        assert k4.to_json() == whole.to_json()
+
+    def test_written_bundle_contains_signature(self, stream_runs, tmp_path):
+        base, _, shards4 = stream_runs
+        paths = merge_shards(shards4).write(tmp_path / "out")
+        assert paths["signature"].exists()
+        doc = json.loads(paths["signature"].read_text())
+        assert doc["type"] == "run_signature"
+        html = paths["report"].read_text()
+        assert "Access-pattern phases" in html
+
+    def test_signature_from_merged_npz_matches(self, stream_runs, tmp_path):
+        """repro-sig compute --npz on a merged bundle == live signature.
+
+        NPZ archives carry counts, not source sites, so ``top_sites``
+        comes back empty -- everything that feeds distance/similarity
+        (vectors, totals, phases) must be identical.
+        """
+        base, _, shards4 = stream_runs
+        merged = merge_shards(shards4)
+        paths = merged.write(tmp_path / "out", report=False)
+        rebuilt = signature_from_npz(paths["heat_npz"],
+                                     workload=merged.workload,
+                                     platform=merged.platform)
+        live = merged.signature()
+        a, b = live.to_dict(), rebuilt.to_dict()
+        for doc in (a, b):
+            for rec in doc["allocs"].values():
+                rec.pop("top_sites")
+        assert a == b
+        assert run_similarity(live, rebuilt)["similarity"] == 1.0
+
+    def test_cli_match_across_shard_counts(self, stream_runs, tmp_path,
+                                           capsys):
+        """Same workload resharded matches; the CI acceptance path."""
+        base, shards2, shards4 = stream_runs
+        merge_shards(shards2).write(tmp_path / "m2", report=False)
+        merge_shards(shards4).write(tmp_path / "m4", report=False)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert sig_main(["compute", "--npz", str(tmp_path / "m2/heat.npz"),
+                         "--workload", "pathfinder",
+                         "--out", str(a)]) == 0
+        assert sig_main(["compute", "--npz", str(tmp_path / "m4/heat.npz"),
+                         "--workload", "pathfinder",
+                         "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert sig_main(["compare", str(a), str(b),
+                         "--fail-below", "0.9"]) == 0
+
+    def test_stream_rollup_carries_phase(self, stream_runs):
+        base, _, _ = stream_runs
+        manifest = json.loads((base / "whole" / "manifest.json").read_text())
+        phase = manifest["rollup"]["phase"]
+        assert set(phase) == {"current", "epoch", "changes"}
+        assert phase["epoch"] >= 0

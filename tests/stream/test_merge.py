@@ -110,11 +110,20 @@ class TestStreamingEqualsInMemory:
 
     @pytest.fixture(scope="class")
     def in_memory(self):
+        from repro.signature.tracker import PhaseTracker
+
         session = make_session("intel-pascal", trace=True)
         session.platform.um.track_causes = True
         heat = HeatStore(nbuckets=64, attribute=True)
         session.tracer.heat = heat
+        # Streaming runs track phases by default; the in-memory reference
+        # must emit the same markers for the event streams to match.
+        tracker = PhaseTracker(
+            log=session.platform.events,
+            clock=lambda: session.platform.clock.now,
+        ).attach(session.tracer, heat)
         REPORT_RUNNERS["lulesh"](session)
+        tracker.finish()
         return session, heat
 
     def test_events_identical(self, in_memory, merged_whole):
