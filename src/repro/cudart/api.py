@@ -461,21 +461,20 @@ class CudaRuntime:
         proc = self.current_proc
         nbytes = count * elem_size
 
+        self._blame("access", alloc)
         if indices is None:
-            lo, hi = alloc.page_range(alloc.base + byte_offset, nbytes)
-            pages = None
+            out = self.platform.um.access_bytes(
+                alloc, byte_offset, nbytes, proc,
+                is_write=is_write, accessors=self._accessors,
+            )
         else:
             addrs = byte_offset + indices * elem_size
             touched = np.unique(addrs // PAGE_SIZE)
-            lo, hi = int(touched[0]), int(touched[-1]) + 1
-            pages = touched
-
-        self._blame("access", alloc)
-        out = self.platform.um.access(
-            alloc, lo, hi, proc,
-            is_write=is_write, nbytes=nbytes,
-            accessors=self._accessors, pages=pages,
-        )
+            out = self.platform.um.access(
+                alloc, int(touched[0]), int(touched[-1]) + 1, proc,
+                is_write=is_write, nbytes=nbytes,
+                accessors=self._accessors, pages=touched,
+            )
         if self._kernel_depth > 0:
             self._kernel_mem_cost += out.cost
         else:

@@ -114,14 +114,13 @@ class DebugTracer(Tracer):
         if alloc.kind is not MemoryKind.MANAGED:
             return
         um = rt.platform.um
-        lo, hi = alloc.page_range(addr, max(1, size))
         if um.track_causes:
             um.blame.set(site=site.label if site else "",
                          kernel=rt._current_kernel, api="access",
                          alloc=alloc.label or "")
-        out = um.access(alloc, lo, hi, rt.current_proc,
-                        is_write=is_write, nbytes=size,
-                        accessors=rt._accessors)
+        out = um.access_bytes(alloc, addr - alloc.base, size,
+                              rt.current_proc, is_write=is_write,
+                              accessors=rt._accessors)
         if out.cost:
             # Same cost attribution as the observer path: kernel-side
             # memory time folds into the launch, host-side advances now.

@@ -106,6 +106,13 @@ def main(argv: list[str] | None = None) -> int:
                              "(fig9, fig11): capture both variants with "
                              "causal provenance and write DIR/<id>/"
                              "why_diff.json plus the diff summary")
+    from ..codegen import BACKENDS
+    parser.add_argument("--backend", default="auto", choices=BACKENDS,
+                        help="execution backend for any mini-CUDA program "
+                             "an experiment interprets: auto (default) "
+                             "vectorizes when provable, falling back to "
+                             "per-thread codegen, then interp; Session "
+                             "workloads run native Python regardless")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -119,6 +126,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}; "
               f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+
+    from ..codegen import default_backend, set_default_backend
+    prev_backend = default_backend()
+    set_default_backend(args.backend)
+    try:
+        return _run(args, ids)
+    finally:
+        set_default_backend(prev_backend)
+
+
+def _run(args: argparse.Namespace, ids: list[str]) -> int:
+    """Execute the selected experiments (backend default already set)."""
 
     csv_dir = None
     if args.csv:

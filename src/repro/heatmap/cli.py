@@ -159,6 +159,8 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
     # the run and only the tracer knows the measured rate.
     sampling = (session.tracer.sampling_info()
                 if session.tracer is not None else recorder.sampling)
+    backend = (session.tracer.backend_info()
+               if session.tracer is not None else None)
     report = build_report(workload=workload, platform=preset, store=heat,
                           diagnoses=diagnoses,
                           metrics=recorder.metrics.snapshot(), stats=stats,
@@ -166,6 +168,7 @@ def run_report(workload: str, platform: str, out_dir: str | Path, *,
                           stream={"events_dropped": dropped} if dropped
                           else None,
                           sampling=sampling,
+                          backend=backend,
                           phases=sig.phases)
     report_path = out / "report.html"
     report_path.write_text(report)

@@ -415,9 +415,26 @@ def _tiles(store: HeatStore,
 
 
 def _banners(stream: Mapping[str, Any] | None,
-             sampling: Mapping[str, Any] | None) -> str:
-    """Fidelity banners: data loss, spill/merge provenance, sampling."""
+             sampling: Mapping[str, Any] | None,
+             backend: Mapping[str, Any] | None = None) -> str:
+    """Fidelity banners: data loss, spill/merge provenance, sampling,
+    execution backend attribution."""
     parts: list[str] = []
+    if backend:
+        launches = backend.get("launches") or {}
+        counts = ", ".join(f"{k} ×{launches[k]}" for k in sorted(launches))
+        fallbacks = int(backend.get("fallbacks", 0))
+        fb_html = ""
+        if fallbacks:
+            fb_html = (f'<div class="why">{fallbacks} backend tier '
+                       "fallback(s): some launches ran on a slower tier "
+                       "(unvectorizable control flow or unsupported "
+                       "constructs); results are still exact.</div>")
+        parts.append(
+            '<div class="banner">execution backend '
+            f'<strong>{_esc(str(backend.get("backend", "")))}</strong>'
+            + (f" ({counts})" if counts else "") + "." + fb_html
+            + "</div>")
     dropped = int((stream or {}).get("events_dropped", 0))
     if dropped:
         parts.append(
@@ -530,6 +547,7 @@ def build_report(
     causes: Mapping[str, Any] | None = None,
     stream: Mapping[str, Any] | None = None,
     sampling: Mapping[str, Any] | None = None,
+    backend: Mapping[str, Any] | None = None,
     phases: Sequence[Mapping[str, Any]] | None = None,
     artifacts: Iterable[str] = ("timeline.json", "events.jsonl",
                                 "metrics.prom"),
@@ -548,6 +566,9 @@ def build_report(
         ``warnings`` describe a spill-and-merge run (``repro-agg``).
     :param sampling: :meth:`repro.runtime.Tracer.sampling_info` dict for
         sampled runs; adds the estimated-fidelity banner.
+    :param backend: :meth:`repro.runtime.Tracer.backend_info` dict for
+        compiled-backend runs; adds the backend-attribution banner (which
+        backend executed each launch, and how many tier fallbacks).
     :param phases: detected access-pattern phases (``Phase.to_dict``
         rows, e.g. ``RunSignature.phases``); adds the phase-lane section.
     :param artifacts: sibling artifact file names to link.
@@ -559,7 +580,7 @@ def build_report(
             f'<div class="sub">{len(allocs)} traced allocation(s) &middot; '
             f'{len(store.epochs_closed)} epoch(s) &middot; '
             f'heat bucketed ×{store.nbuckets}</div>']
-    body.append(_banners(stream, sampling))
+    body.append(_banners(stream, sampling, backend))
     body.append(_tiles(store, metrics, stats))
     body.append("<h2>Temporal heatmaps</h2>")
     if allocs:

@@ -157,8 +157,11 @@ class AllocationHeat:
             site: SourceSite | None = None) -> None:
         """Accumulate one access over words ``[lo, hi)`` (or ``idx``)."""
         if idx is not None:
-            contrib = np.bincount((idx * self.nbuckets) // self.nwords,
-                                  minlength=self.nbuckets)
+            # Word w belongs to the bucket whose [start, end) span holds
+            # it -- the same fair-division boundaries the span path clips
+            # against, so scattered and contiguous records always agree.
+            buckets = np.searchsorted(self._ends, idx, side="right")
+            contrib = np.bincount(buckets, minlength=self.nbuckets)
         else:
             contrib = np.clip(np.minimum(hi, self._ends)
                               - np.maximum(lo, self._starts), 0, None)
@@ -311,12 +314,17 @@ class HeatStore:
 
     def record(self, alloc: Allocation, proc: Processor, *, is_write: bool,
                lo: int = 0, hi: int = 0, idx: np.ndarray | None = None,
-               site: SourceSite | None = None) -> None:
-        """Accumulate one traced access (word range or word indices)."""
+               site: SourceSite | None = None, n: int = 1) -> None:
+        """Accumulate one traced access (word range or word indices).
+
+        ``n`` lets a batched backend account one call as ``n`` logical
+        accesses (one per grid lane), keeping ``records`` comparable
+        across execution backends.
+        """
         if site is None and self.attribute:
             from .attribution import caller_site
             site = caller_site()
-        self.records += 1
+        self.records += n
         self.track(alloc).add(_channel(proc, is_write), lo, hi, idx, site)
 
     def advance_epoch(self, closed_epoch: int) -> None:

@@ -116,9 +116,16 @@ class Interpreter:
         tracer: Tracer | None = None,
         out: io.TextIOBase | None = None,
         source_name: str = "<mini-cuda>",
+        backend: str | None = None,
     ) -> None:
         self.unit = unit
         self.source_name = source_name
+        from ..codegen.backend import BACKENDS, default_backend
+        self.backend = backend or default_backend()
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {', '.join(BACKENDS)}")
         #: Source line of the statement currently executing (parser-stamped;
         #: attributes instrumented trace calls without stack inspection).
         self._line = 0
@@ -130,6 +137,7 @@ class Interpreter:
         # context so device-side traces classify as GPU accesses.
         self._space = self.platform.address_space
         self.tracer = (tracer or Tracer()).bind(self.runtime)
+        self.tracer.backend = self.backend
         #: Bound trace methods by wrapper name (one getattr per program,
         #: not one per instrumented access).
         self._trace_fns = {n: getattr(self.tracer, n) for n in _TRACE_NAMES}
@@ -645,7 +653,7 @@ class Interpreter:
         if hooks is not None:
             hooks.on_kernel_entry(self, fn, grid, block)
 
-        def body(ctx) -> None:
+        def interp_body() -> None:
             # One dict mutated per simulated thread: the builtins are read
             # through ``_thread.get`` so identity never leaks.
             thread = {
@@ -661,6 +669,17 @@ class Interpreter:
                         self._invoke(fn, list(args))
             finally:
                 self._thread = {}
+
+        if self.backend != "interp" and hooks is None:
+            from ..codegen.backend import run_compiled
+
+            def body(ctx) -> None:
+                run_compiled(self, fn, grid, block, args, interp_body)
+        else:
+            # Hooked runs (the debugger) need per-statement control; the
+            # compiled tiers would bypass every breakpoint.
+            def body(ctx) -> None:
+                interp_body()
 
         self.runtime.launch(body, grid, block, name=fn.name,
                             work=grid * block)
@@ -868,7 +887,8 @@ def run_program(source: str, *, instrumented: bool = True,
                 platform: Platform | None = None,
                 tracer: Tracer | None = None,
                 source_name: str = "<mini-cuda>",
-                entry: str = "main") -> Interpreter:
+                entry: str = "main",
+                backend: str | None = None) -> Interpreter:
     """Parse (+instrument) and execute ``source``; returns the interpreter
     for inspection of tracer state and captured output."""
     from ..instrument import instrument as _instrument, parse
@@ -877,6 +897,6 @@ def run_program(source: str, *, instrumented: bool = True,
     if instrumented:
         _instrument(unit)
     interp = Interpreter(unit, platform=platform, tracer=tracer,
-                         source_name=source_name)
+                         source_name=source_name, backend=backend)
     interp.run(entry)
     return interp

@@ -323,6 +323,29 @@ class UnifiedMemoryDriver:
     # ------------------------------------------------------------------ #
     # the access state machine
 
+    def access_bytes(
+        self,
+        alloc: Allocation,
+        byte_offset: int,
+        nbytes: int,
+        proc: Processor,
+        *,
+        is_write: bool,
+        accessors: int = 1,
+        pages: np.ndarray | None = None,
+    ) -> AccessOutcome:
+        """Span-granular driver entry: one byte span, any length.
+
+        Converts ``[byte_offset, byte_offset + nbytes)`` within ``alloc``
+        to the covering page range and runs :meth:`access` once -- the
+        single-call shape batched backends and per-statement tracers both
+        funnel through, so fault grouping and migration costs are decided
+        by the *span*, never by how many accesses composed it.
+        """
+        lo, hi = alloc.page_range(alloc.base + byte_offset, max(1, nbytes))
+        return self.access(alloc, lo, hi, proc, is_write=is_write,
+                           nbytes=nbytes, accessors=accessors, pages=pages)
+
     def access(
         self,
         alloc: Allocation,

@@ -159,6 +159,15 @@ class Tracer(ObserverBase):
         #: Folded per-allocation advice state (see :meth:`advice_for`).
         self._advice_state: dict[int, set[cudaMemoryAdvise]] = {}
         self._runtime: "CudaRuntime | None" = None
+        #: Requested execution backend (set by the interpreter): one of
+        #: ``interp``/``codegen``/``codegen-vec``/``auto``.  Reports and
+        #: JSONL headers surface it via :meth:`backend_info` so fidelity
+        #: numbers are attributable to the backend that produced them.
+        self.backend = "interp"
+        #: Launch counts by the backend that actually executed them.
+        self.backend_launches: dict[str, int] = {}
+        #: Total tiers dropped across launches (vec -> codegen -> interp).
+        self.backend_fallbacks = 0
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -239,6 +248,64 @@ class Tracer(ObserverBase):
         """Apply any pending coalesced interval (diagnostic-safe point)."""
         if self.batcher is not None:
             self.batcher.flush()
+
+    def _apply_words(self, block: ShadowBlock, proc: Processor, kind: int,
+                     idx, count: int | None = None) -> None:
+        """Apply one batched per-word update (vectorized backend sink).
+
+        ``idx`` is an int array of shadow word indices, one entry per
+        traced word per lane (duplicates legal: the shadow ORs bits, and
+        heat counts each entry, exactly like the per-thread calls the
+        batch replaces).  Only valid at full rate (the vectorized backend
+        requires ``sample_mode == "off"``), so every counted word is both
+        seen and recorded.  ``count`` overrides the ``len(idx)`` tally
+        (pass 0 when the launch accounts its words once via
+        :meth:`note_words` instead of per update).
+        """
+        n = len(idx) if count is None else count
+        self._epoch_seen += n
+        self._epoch_recorded += n
+        if kind == KIND_READ:
+            block.record_read(proc, 0, 0, idx=idx)
+        elif kind == KIND_WRITE:
+            block.record_write(proc, 0, 0, idx=idx)
+        else:
+            block.record_rmw(proc, 0, 0, idx=idx)
+
+    def note_words(self, n: int) -> None:
+        """Account ``n`` logical shadow words for a batched launch.
+
+        The interpreter's :class:`~repro.runtime.batch.TraceBatcher`
+        tallies *post-merge interval widths*, not trace calls, so a
+        vectorized launch computes the identical figure up front
+        (:meth:`repro.codegen.gridexec.VecRun._batcher_seen`) and books
+        it here in one step.
+        """
+        self._epoch_seen += n
+        self._epoch_recorded += n
+
+    def note_launch(self, used: str, fallbacks: int = 0) -> None:
+        """Record which backend executed a kernel launch (and how many
+        tiers it fell through to get there)."""
+        self.backend_launches[used] = self.backend_launches.get(used, 0) + 1
+        self.backend_fallbacks += fallbacks
+
+    def backend_info(self) -> dict | None:
+        """Backend attribution for report/JSONL headers, or ``None``.
+
+        ``None`` when running the plain interpreter (the historical
+        default, so existing artifacts are byte-identical); otherwise the
+        requested backend, per-backend launch counts, and the total
+        number of per-launch fallbacks.
+        """
+        if self.backend == "interp":
+            return None
+        return {
+            "backend": self.backend,
+            "launches": {k: self.backend_launches[k]
+                         for k in sorted(self.backend_launches)},
+            "fallbacks": self.backend_fallbacks,
+        }
 
     # ------------------------------------------------------------------ #
     # direct tracing API (paper Table I)
@@ -490,6 +557,10 @@ class Tracer(ObserverBase):
             "kernels": len(self.kernels),
             "transfers": len(self.transfers),
             "epochs": [dict(r) for r in self.epoch_rates],
+            "backend": self.backend,
+            "backend_launches": {k: self.backend_launches[k]
+                                 for k in sorted(self.backend_launches)},
+            "backend_fallbacks": self.backend_fallbacks,
         }
 
     def sampling_info(self) -> dict | None:

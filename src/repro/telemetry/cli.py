@@ -126,20 +126,67 @@ WORKLOADS: dict[str, Callable[[Session], WorkloadRun]] = {
 }
 
 
+def mini_cuda_workloads() -> tuple[str, ...]:
+    """Names of the interpreted mini-CUDA catalogue programs (``mc-*``)."""
+    from ..workloads.minicuda import CATALOG
+    return tuple(CATALOG)
+
+
+def _run_mini_cuda(workload: str, preset: str, recorder: TelemetryRecorder,
+                   *, backend: str) -> None:
+    """Run one mini-CUDA catalogue program with telemetry attached.
+
+    The interpreter path wires differently from sessions: the tracer is
+    *bound* (not subscribed) by the interpreter itself, so the recorder
+    must attach to the interpreter's runtime/tracer pair after
+    construction and before the program runs.
+    """
+    from ..instrument import instrument as _instrument, parse
+    from ..interp.interpreter import Interpreter
+    from ..memsim import PLATFORMS
+    from ..runtime import Tracer
+    from ..workloads.minicuda import CATALOG
+
+    unit = parse(CATALOG[workload]())
+    _instrument(unit)
+    interp = Interpreter(unit, platform=PLATFORMS[preset](), tracer=Tracer(),
+                         source_name=f"{workload}.cu", backend=backend)
+    recorder.attach(interp.runtime, interp.tracer, label=workload)
+    interp.run("main")
+    recorder.record_diagnosis(
+        diagnose(interp.tracer, include_unnamed=True))
+    recorder.detach()
+    sys.stdout.write(interp.stdout)
+
+
 def run_traced(workload: str, platform: str, out_dir: str | Path,
-               *, materialize: bool = True) -> dict[str, Path]:
+               *, materialize: bool = True,
+               backend: str = "auto") -> dict[str, Path]:
     """Run ``workload`` on ``platform`` with telemetry; write artifacts.
 
-    Returns the artifact paths (``timeline``, ``metrics``, ``events``).
+    ``backend`` selects the execution backend for mini-CUDA (``mc-*``)
+    workloads -- ``auto`` vectorizes when provable, else per-thread
+    codegen, else the tree-walking interpreter; Session workloads run
+    native Python and ignore it.  Returns the artifact paths
+    (``timeline``, ``metrics``, ``events``).
     """
     preset = PLATFORM_ALIASES.get(platform, platform)
-    runner = WORKLOADS[workload]
+    mini = workload in mini_cuda_workloads()
+    if not mini:
+        runner = WORKLOADS[workload]
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
     recorder = TelemetryRecorder(jsonl=JsonlWriter(out / "events.jsonl"))
     recorder.workload = workload
     recorder.config = {"platform": preset, "materialize": materialize}
+    if mini:
+        recorder.config["backend"] = backend
+        _run_mini_cuda(workload, preset, recorder, backend=backend)
+        paths = recorder.flush(out)
+        for name, path in sorted(paths.items()):
+            print(f"  {name:9s} {path}")
+        return paths
     context.install(recorder)
     try:
         session = make_session(preset, trace=True, materialize=materialize)
@@ -168,8 +215,15 @@ def main(argv: list[str] | None = None) -> int:
         description="Replay a workload on the simulated stack with unified "
                     "telemetry (Perfetto timeline, JSONL events, metrics).")
     parser.add_argument("--workload", default="pathfinder",
-                        choices=sorted(WORKLOADS),
-                        help="workload to replay (default: pathfinder)")
+                        choices=sorted(WORKLOADS) + sorted(
+                            mini_cuda_workloads()),
+                        help="workload to replay (default: pathfinder); "
+                             "mc-* names run interpreted mini-CUDA programs")
+    from ..codegen import BACKENDS
+    parser.add_argument("--backend", default="auto", choices=BACKENDS,
+                        help="execution backend for mc-* workloads: auto "
+                             "(default) vectorizes when provable, falling "
+                             "back to per-thread codegen, then interp")
     parser.add_argument("--platform", default="pcie",
                         help="platform preset or alias: "
                              + ", ".join(sorted(PLATFORM_ALIASES)))
@@ -184,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list:
         print("workloads: " + ", ".join(sorted(WORKLOADS)))
+        print("mini-cuda: " + ", ".join(sorted(mini_cuda_workloads())))
         print("platforms: " + ", ".join(
             f"{alias}->{name}" for alias, name in sorted(PLATFORM_ALIASES.items())))
         return 0
@@ -195,7 +250,7 @@ def main(argv: list[str] | None = None) -> int:
               + ", ".join(sorted(PLATFORM_ALIASES)), file=sys.stderr)
         return 2
     run_traced(args.workload, preset, args.out,
-               materialize=not args.footprint)
+               materialize=not args.footprint, backend=args.backend)
     return 0
 
 

@@ -80,6 +80,9 @@ class _SessionHooks:
     #: Driver ``track_causes`` value before attach (restored on detach).
     prev_track_causes: bool = False
     causes_installed: bool = False
+    #: Whether the tracer's backend attribution was already written to the
+    #: JSONL stream (finalisation runs at both detach and flush).
+    backend_recorded: bool = False
 
 
 class TelemetryRecorder(ObserverBase):
@@ -125,6 +128,10 @@ class TelemetryRecorder(ObserverBase):
         #: Sampling regime of the last sampled tracer attached (stride,
         #: effective rate, estimated fidelity) -- ``None`` for dense runs.
         self.sampling: dict[str, Any] | None = None
+        #: Backend attribution of the last compiled-backend tracer
+        #: finalised (backend, launch counts, fallbacks) -- ``None`` for
+        #: plain interpreter runs.
+        self.backend: dict[str, Any] | None = None
         self._sessions: list[_SessionHooks] = []
         self._active: _SessionHooks | None = None
         self._declare_core_metrics()
@@ -270,6 +277,26 @@ class TelemetryRecorder(ObserverBase):
                            "estimated diagnostic fidelity under sampling"
                            ).set(info["estimated_fidelity"])
         self._write({"type": "sampling", **info})
+
+    def _record_backend(self, hooks: _SessionHooks) -> None:
+        """Surface the tracer's execution-backend attribution once.
+
+        Runs at finalisation (not attach) because launch counts and
+        fallback totals only exist after the kernels ran.  Interpreter
+        runs record nothing, keeping their artifacts byte-identical with
+        history.
+        """
+        if hooks.backend_recorded or hooks.tracer is None:
+            return
+        info = hooks.tracer.backend_info()
+        if info is None:
+            return
+        hooks.backend_recorded = True
+        self.backend = dict(info)
+        self.metrics.gauge("backend_fallbacks",
+                           "kernel launches that fell to a slower backend"
+                           ).set(info["fallbacks"])
+        self._write({"type": "backend", **info})
 
     @property
     def events_dropped_total(self) -> float:
@@ -550,6 +577,7 @@ class TelemetryRecorder(ObserverBase):
     # finalisation
 
     def _finalize_session(self, hooks: _SessionHooks) -> None:
+        self._record_backend(hooks)
         self.metrics.gauge("sim_time_seconds",
                            "simulated seconds on the session clock"
                            ).set(hooks.platform.clock.now,
